@@ -1,0 +1,100 @@
+// Benchmarks: one per paper table/figure, regenerating the experiment and
+// reporting the simulated training-step times as custom metrics. Run with
+//
+//	go test -bench=. -benchmem
+//
+// These wrap the experiment harness so `go test -bench` reproduces the
+// whole evaluation; cmd/sentinel-bench prints the tables themselves.
+package sentinel_test
+
+import (
+	"testing"
+
+	"sentinel"
+)
+
+// benchOpts keeps per-iteration cost bounded; the experiments themselves
+// are deterministic, so one iteration is representative.
+func benchOpts() sentinel.ExperimentOptions {
+	return sentinel.ExperimentOptions{Steps: 5, Quick: true}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := sentinel.Experiment(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkCharacterization(b *testing.B) { benchExperiment(b, "characterization") }
+func BenchmarkFig5(b *testing.B)             { benchExperiment(b, "fig5") }
+func BenchmarkFig7(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)             { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)            { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)            { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)            { benchExperiment(b, "fig13") }
+func BenchmarkTable1(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)           { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)           { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)           { benchExperiment(b, "table4") }
+func BenchmarkTable5(b *testing.B)           { benchExperiment(b, "table5") }
+
+// BenchmarkSentinelStep measures the simulator's own cost of one managed
+// training step (resnet32, 20% fast memory) — the engine's throughput, not
+// the simulated time.
+func BenchmarkSentinelStep(b *testing.B) {
+	g, err := sentinel.BuildModel("resnet32", 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machine := sentinel.OptaneHM().WithFastSize(g.PeakMemory() / 5)
+	p, err := sentinel.NewPolicy("sentinel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := sentinel.NewRuntime(g, machine, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.RunSteps(2); err != nil { // profile + first managed step
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.RunStep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfilingStep measures the cost of the tensor-level profiling
+// mechanism itself.
+func BenchmarkProfilingStep(b *testing.B) {
+	g, err := sentinel.BuildModel("resnet32", 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sentinel.CollectProfile(g, sentinel.OptaneHM()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelBuild measures graph construction.
+func BenchmarkModelBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sentinel.BuildModel("bert-large", 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

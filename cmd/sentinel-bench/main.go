@@ -1,0 +1,67 @@
+// Command sentinel-bench regenerates the paper's evaluation: every table
+// and figure of Sec. VII, against the simulated Optane and GPU platforms.
+//
+// Usage:
+//
+//	sentinel-bench                 # run everything
+//	sentinel-bench -exp fig7       # one experiment
+//	sentinel-bench -quick          # trimmed sweeps
+//	sentinel-bench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sentinel/internal/experiment"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or comma-separated list (see -list)")
+		quick  = flag.Bool("quick", false, "trimmed sweeps for quick runs")
+		steps  = flag.Int("steps", 5, "training steps per configuration")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "text", "output format: text, csv, or json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiment.Options{Steps: *steps, Quick: *quick}
+	ids := experiment.DefaultIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiment.Run(strings.TrimSpace(id), opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sentinel-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
+				os.Exit(1)
+			}
+		case "json":
+			if err := t.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Println(t)
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

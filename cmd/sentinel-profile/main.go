@@ -1,0 +1,66 @@
+// Command sentinel-profile runs the Sec. III characterization study on a
+// model: tensor population (Observation 1), hot/cold distribution
+// (Observation 2), and page-level false sharing (Observation 3).
+//
+// Usage:
+//
+//	sentinel-profile -model resnet32 -batch 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/model"
+	"sentinel/internal/profile"
+	"sentinel/internal/simtime"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet32", "model name")
+		batch     = flag.Int("batch", 128, "batch size")
+		top       = flag.Int("top", 0, "also list the N most-accessed tensors")
+	)
+	flag.Parse()
+
+	g, err := model.Build(*modelName, *batch)
+	if err != nil {
+		fatal(err)
+	}
+	spec := memsys.OptaneHM()
+	c, err := profile.Characterize(g, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(c)
+
+	p, err := profile.Collect(g, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profiling step: %v (fault overhead %v, %d faults)\n",
+		p.StepTime, p.FaultTime, p.Faults)
+
+	if *top > 0 {
+		stats := make([]profile.TensorStat, len(p.Tensors))
+		copy(stats, p.Tensors)
+		sort.Slice(stats, func(i, j int) bool { return stats[i].Accesses > stats[j].Accesses })
+		if *top > len(stats) {
+			*top = len(stats)
+		}
+		fmt.Printf("top %d tensors by main-memory accesses:\n", *top)
+		for _, ts := range stats[:*top] {
+			fmt.Printf("  %-24s %-10s %10s  %6d accesses  layers [%d,%d]\n",
+				ts.Name, ts.Kind, simtime.Bytes(ts.Size), ts.Accesses, ts.AllocLayer, ts.FreeLayer)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sentinel-profile:", err)
+	os.Exit(1)
+}

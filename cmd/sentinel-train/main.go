@@ -1,0 +1,109 @@
+// Command sentinel-train runs one model under one tensor-management policy
+// on a simulated heterogeneous-memory machine and reports step time,
+// throughput, and migration statistics.
+//
+// Usage:
+//
+//	sentinel-train -model resnet32 -batch 128 -policy sentinel -fastpct 20
+//	sentinel-train -model bert-large -batch 16 -platform gpu -policy capuchin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/model"
+	"sentinel/internal/policyset"
+	"sentinel/internal/simtime"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "resnet32", "model name (see -list)")
+		specPath  = flag.String("spec", "", "path to a JSON workload spec (overrides -model/-batch)")
+		batch     = flag.Int("batch", 128, "batch size")
+		policy    = flag.String("policy", "sentinel", "policy name (see -list)")
+		platform  = flag.String("platform", "optane", "platform: optane or gpu")
+		fastPct   = flag.Float64("fastpct", 20, "fast memory size as % of model peak memory (0 = platform default)")
+		steps     = flag.Int("steps", 5, "training steps to simulate")
+		list      = flag.Bool("list", false, "list models and policies, then exit")
+		trace     = flag.String("trace", "", "write a runtime event trace to this file ('-' for stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("models:  ", model.Names())
+		fmt.Println("policies:", policyset.Names())
+		return
+	}
+
+	var g *graph.Graph
+	var err error
+	if *specPath != "" {
+		f, ferr := os.Open(*specPath)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		g, err = model.LoadSpec(f)
+		f.Close()
+		if err == nil {
+			*modelName = g.Model
+			*batch = g.Batch
+		}
+	} else {
+		g, err = model.Build(*modelName, *batch)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var spec memsys.Spec
+	switch *platform {
+	case "optane":
+		spec = memsys.OptaneHM()
+	case "gpu":
+		spec = memsys.GPUHM()
+	default:
+		fatal(fmt.Errorf("unknown platform %q", *platform))
+	}
+	peak := g.PeakMemory()
+	if *fastPct > 0 {
+		spec = spec.WithFastSize(int64(*fastPct / 100 * float64(peak)))
+	}
+
+	var opts []exec.Option
+	if *trace != "" {
+		w := os.Stdout
+		if *trace != "-" {
+			f, ferr := os.Create(*trace)
+			if ferr != nil {
+				fatal(ferr)
+			}
+			defer f.Close()
+			w = f
+		}
+		opts = append(opts, exec.WithEventSink(exec.WriteEvents(w)))
+	}
+	run, err := policyset.Run(g, spec, *policy, *steps, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model %s  batch %d  policy %s  platform %s\n", *modelName, *batch, *policy, spec.Name)
+	fmt.Printf("peak memory %s, short-lived peak %s, fast memory %s (%.0f%% of peak)\n",
+		simtime.Bytes(peak), simtime.Bytes(g.PeakShortLived()),
+		simtime.Bytes(spec.Fast.Size), 100*float64(spec.Fast.Size)/float64(peak))
+	for _, st := range run.Steps {
+		fmt.Printf("  %s\n", st)
+	}
+	fmt.Printf("steady step %v  throughput %.1f samples/s\n",
+		run.SteadyStepTime(), run.Throughput())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sentinel-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// Command sentinel-validate runs the reproduction's self-check: each line
+// is a claim from the paper that must hold in this simulation (with the
+// tolerances documented in EXPERIMENTS.md). Exits non-zero if any check
+// fails — suitable for CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sentinel/internal/experiment"
+)
+
+func main() {
+	steps := flag.Int("steps", 5, "training steps per configuration")
+	flag.Parse()
+
+	checks, err := experiment.Validate(experiment.Options{Steps: *steps})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-validate:", err)
+		os.Exit(1)
+	}
+	failed := 0
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-4s %-22s %s\n     %s\n", status, c.Name, c.Claim, c.Detail)
+	}
+	fmt.Printf("\n%d/%d checks passed\n", len(checks)-failed, len(checks))
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,52 @@
+// GPU-bert reproduces the paper's GPU-side scenario: BERT-large training
+// on a 16 GiB V100 with host memory as the slow tier. It finds each
+// policy's maximum batch size (Table V's search) and compares throughput
+// at a batch that exceeds device memory (Fig. 12's regime).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"sentinel"
+	"sentinel/internal/exec"
+)
+
+func main() {
+	machine := sentinel.GPUHM()
+
+	fmt.Println("maximum batch size on 16 GiB of device memory:")
+	for _, policy := range []string{"fast-only", "autotm", "capuchin", "sentinel-gpu"} {
+		max, err := sentinel.MaxBatch("bert-large", machine, policy, 2048)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := policy
+		if policy == "fast-only" {
+			label = "tensorflow (no migration)"
+		}
+		fmt.Printf("  %-26s %d\n", label, max)
+	}
+
+	const batch = 64 // ~45 GiB peak: three times the device memory
+	g, err := sentinel.BuildModel("bert-large", batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthroughput at batch %d (peak %.1f GiB vs 16 GiB device memory):\n",
+		batch, float64(g.PeakMemory())/(1<<30))
+	for _, policy := range []string{"um", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"} {
+		run, err := sentinel.Train(g, machine, policy, 5)
+		if err != nil {
+			if errors.Is(err, exec.ErrOOM) {
+				fmt.Printf("  %-14s out of memory\n", policy)
+				continue
+			}
+			log.Fatal(err)
+		}
+		st := run.SteadyStep()
+		fmt.Printf("  %-14s step %-9v  %6.1f samples/s  exposed migration %v\n",
+			policy, st.Duration, run.Throughput(), st.StallTime)
+	}
+}

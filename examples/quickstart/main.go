@@ -1,0 +1,43 @@
+// Quickstart: train ResNet-32 on the Optane-based heterogeneous memory
+// platform with only 20% of its peak memory as DRAM, and compare Sentinel
+// against the references.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sentinel"
+)
+
+func main() {
+	g, err := sentinel.BuildModel("resnet32", 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	peak := g.PeakMemory()
+	fmt.Printf("resnet32 (batch 128): peak memory %.1f MiB, %d tensors, %d layers\n\n",
+		float64(peak)/(1<<20), len(g.Tensors), g.NumLayers)
+
+	// Fast memory is only 20% of what the model needs at peak.
+	machine := sentinel.OptaneHM().WithFastSize(peak / 5)
+
+	for _, policy := range []string{"slow-only", "first-touch", "ial", "autotm", "sentinel"} {
+		run, err := sentinel.Train(g, machine, policy, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := run.SteadyStep()
+		fmt.Printf("%-12s step %-10v throughput %7.1f samples/s  (migrated %.1f MiB/step)\n",
+			policy, st.Duration, run.Throughput(), float64(st.MigratedTotal())/(1<<20))
+	}
+
+	// The DRAM-only reference needs 5x the fast memory.
+	all := sentinel.OptaneHM().WithFastSize(2 * peak)
+	run, err := sentinel.Train(g, all, "fast-only", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-12s step %-10v throughput %7.1f samples/s  (reference, 100%% DRAM)\n",
+		"fast-only", run.SteadyStepTime(), run.Throughput())
+}

@@ -1,0 +1,3 @@
+module sentinel
+
+go 1.22

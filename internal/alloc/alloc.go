@@ -1,0 +1,462 @@
+// Package alloc simulates the framework memory allocator. Three modes
+// reproduce the three allocation regimes in the paper:
+//
+//   - Packed: a BFC-style best-fit allocator with 256-byte rounding and
+//     block reuse, as TensorFlow uses by default. Small tensors with
+//     unrelated lifetimes end up sharing pages — the source of page-level
+//     false sharing (Observation 3).
+//   - PageAligned: every tensor starts on a fresh page and occupies whole
+//     pages. Used during Sentinel's profiling step so page-level access
+//     counts become tensor-level counts ("each memory page has only one
+//     tensor").
+//   - Grouped: Sentinel's post-profiling reorganization. Tensors are
+//     packed only within their group (same lifetime class and layer
+//     residence), so no page is shared across groups; short-lived tensors
+//     go to a reserved, pinned pool in fast memory.
+package alloc
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// Mode selects the allocation regime.
+type Mode int
+
+const (
+	// Packed is the default BFC-style allocator.
+	Packed Mode = iota
+	// PageAligned gives every tensor exclusive whole pages.
+	PageAligned
+	// Grouped packs tensors only within caller-defined groups.
+	Grouped
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Packed:
+		return "packed"
+	case PageAligned:
+		return "page-aligned"
+	case Grouped:
+		return "grouped"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Region is a tensor's virtual address range.
+type Region struct {
+	Addr, Size int64
+}
+
+// End returns the first address past the region.
+func (r Region) End() int64 { return r.Addr + r.Size }
+
+// Pages returns the page span covering the region.
+func (r Region) Pages() (first, last kernel.PageID) {
+	return kernel.PageSpan(r.Addr, r.Size)
+}
+
+// bfcRound is TensorFlow BFC's allocation rounding.
+const bfcRound = 256
+
+// minChunk is the granularity at which arenas grow; one growth maps this
+// many bytes of fresh pages at once, like BFC's region extension.
+const minChunk = 64 * kernel.PageSize
+
+// GroupFunc assigns a tensor to an arena group (Grouped mode).
+type GroupFunc func(*tensor.Tensor) string
+
+// TierFunc chooses the tier for freshly mapped pages backing a tensor.
+type TierFunc func(*tensor.Tensor) memsys.Tier
+
+// PinFunc reports whether a group's pages must be pinned (the reserved
+// short-lived pool).
+type PinFunc func(group string) bool
+
+// Config configures an allocator.
+type Config struct {
+	Mode Mode
+	// Group assigns arena groups in Grouped mode; ignored otherwise.
+	Group GroupFunc
+	// Tier chooses placement of new pages. Defaults to always-slow,
+	// matching "before the training happens, tensors are allocated in
+	// slow memory".
+	Tier TierFunc
+	// Pin marks pinned groups (Grouped mode).
+	Pin PinFunc
+}
+
+type block struct{ addr, size int64 }
+
+// arena is one packing domain: a free list over chunks of mapped pages.
+type arena struct {
+	name   string
+	free   []block // sorted by addr, coalesced
+	chunks []block // every page chunk ever mapped for this arena
+	live   int     // live allocations
+	pin    bool
+}
+
+// allocation records where a tensor went and which arena owns the space,
+// so frees remain correct across Reconfigure.
+type allocation struct {
+	region      Region
+	arenaKey    string
+	pageAligned bool
+}
+
+// Allocator simulates the framework allocator against the kernel.
+type Allocator struct {
+	k       *kernel.Kernel
+	now     func() simtime.Time
+	cfg     Config
+	gen     int // bumped by Reconfigure; prefixes arena keys
+	arenas  map[string]*arena
+	regions map[tensor.ID]allocation
+	// nextPage is the global bump pointer for fresh chunks; arenas own
+	// disjoint chunks carved from it.
+	nextPage kernel.PageID
+	// failedTier counts allocations that fell back to the other tier
+	// because the requested tier was full.
+	failedTier int64
+}
+
+// New returns an allocator over the kernel.
+func New(k *kernel.Kernel, cfg Config) *Allocator {
+	if cfg.Tier == nil {
+		cfg.Tier = func(*tensor.Tensor) memsys.Tier { return memsys.Slow }
+	}
+	return &Allocator{
+		k:        k,
+		now:      func() simtime.Time { return 0 },
+		cfg:      cfg,
+		arenas:   make(map[string]*arena),
+		regions:  make(map[tensor.ID]allocation),
+		nextPage: 1, // skip page 0 so addr 0 stays invalid
+	}
+}
+
+// SetClock installs the virtual-time source used for tier queries during
+// reclamation; the runtime wires its clock in.
+func (a *Allocator) SetClock(now func() simtime.Time) {
+	if now != nil {
+		a.now = now
+	}
+}
+
+// Reconfigure switches the allocation policy for future allocations —
+// Sentinel's post-profiling data reorganization. Existing allocations stay
+// where they are (re-addressing live tensors would create wild pointers);
+// arenas with no live allocations are torn down and their pages unmapped.
+// Mid-training tensors are allocated and freed every step, so calling this
+// between steps reorganizes them all without impacting correctness.
+func (a *Allocator) Reconfigure(cfg Config) {
+	if cfg.Tier == nil {
+		cfg.Tier = func(*tensor.Tensor) memsys.Tier { return memsys.Slow }
+	}
+	for key, ar := range a.arenas {
+		if ar.live > 0 {
+			continue
+		}
+		for _, c := range ar.chunks {
+			first, last := kernel.PageSpan(c.addr, c.size)
+			if ar.pin {
+				a.k.Pin(first, last, false)
+			}
+			a.k.Unmap(first, last, 0)
+		}
+		delete(a.arenas, key)
+	}
+	a.cfg = cfg
+	a.gen++
+}
+
+// Mode returns the configured mode.
+func (a *Allocator) Mode() Mode { return a.cfg.Mode }
+
+// TierFallbacks reports how many allocations could not be placed on their
+// requested tier and fell back to the other one.
+func (a *Allocator) TierFallbacks() int64 { return a.failedTier }
+
+// bfcLargeThreshold splits BFC into a small-chunk and a large-chunk bin
+// space, as TensorFlow's allocator does; small tensors only share pages
+// with other small tensors, large ones share boundary pages with large
+// ones.
+const bfcLargeThreshold = 256 << 10
+
+func (a *Allocator) groupOf(t *tensor.Tensor) string {
+	switch a.cfg.Mode {
+	case PageAligned:
+		// Every tensor is its own group: exclusive pages.
+		return fmt.Sprintf("t%d", t.ID)
+	case Grouped:
+		if a.cfg.Group == nil {
+			return "default"
+		}
+		return a.cfg.Group(t)
+	default:
+		// BFC keeps per-size-class bins; freed chunks are reused by
+		// allocations of the same class, so page sharing happens
+		// within a class and at class-chunk boundaries.
+		if t.Size >= bfcLargeThreshold {
+			bin := 0
+			for sz := t.Size >> 18; sz > 0; sz >>= 1 {
+				bin++
+			}
+			return fmt.Sprintf("bfc-large-%d", bin)
+		}
+		return "bfc-small"
+	}
+}
+
+func (a *Allocator) roundSize(size int64) int64 {
+	if a.cfg.Mode == PageAligned {
+		return (size + kernel.PageSize - 1) &^ (kernel.PageSize - 1)
+	}
+	return (size + bfcRound - 1) &^ (bfcRound - 1)
+}
+
+// grow extends the arena with fresh pages sized for need, mapping them on
+// the requested tier (falling back to the other tier when full).
+func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
+	chunk := need
+	if a.cfg.Mode != PageAligned && chunk < minChunk {
+		chunk = minChunk
+	}
+	chunk = (chunk + kernel.PageSize - 1) &^ (kernel.PageSize - 1)
+	pages := chunk >> kernel.PageShift
+	first := a.nextPage
+	last := first + kernel.PageID(pages) - 1
+	if err := a.k.Map(first, last, tier); err != nil {
+		// Release cached dead chunks and retry before falling back to
+		// the other tier, as a real allocator would rather than
+		// failing the training step.
+		a.Reclaim(tier, chunk)
+		if err = a.k.Map(first, last, tier); err != nil {
+			other := tier.Other()
+			a.Reclaim(other, chunk)
+			if err2 := a.k.Map(first, last, other); err2 != nil {
+				return fmt.Errorf("alloc: both tiers full: %v; %v", err, err2)
+			}
+			a.failedTier++
+		}
+	}
+	if ar.pin {
+		a.k.Pin(first, last, true)
+	}
+	a.nextPage = last + 1
+	b := block{addr: int64(first) << kernel.PageShift, size: chunk}
+	ar.chunks = append(ar.chunks, b)
+	a.freeInsert(ar, b)
+	return nil
+}
+
+// freeInsert adds a block to the arena free list, coalescing neighbours.
+func (a *Allocator) freeInsert(ar *arena, b block) {
+	i := sort.Search(len(ar.free), func(i int) bool { return ar.free[i].addr >= b.addr })
+	ar.free = append(ar.free, block{})
+	copy(ar.free[i+1:], ar.free[i:])
+	ar.free[i] = b
+	// Coalesce with successor then predecessor.
+	if i+1 < len(ar.free) && ar.free[i].addr+ar.free[i].size == ar.free[i+1].addr {
+		ar.free[i].size += ar.free[i+1].size
+		ar.free = append(ar.free[:i+1], ar.free[i+2:]...)
+	}
+	if i > 0 && ar.free[i-1].addr+ar.free[i-1].size == ar.free[i].addr {
+		ar.free[i-1].size += ar.free[i].size
+		ar.free = append(ar.free[:i], ar.free[i+1:]...)
+	}
+}
+
+// takeBestFit removes and returns a block of at least size bytes, best-fit;
+// ok is false if none fits.
+func (a *Allocator) takeBestFit(ar *arena, size int64) (int64, bool) {
+	best := -1
+	for i := range ar.free {
+		if ar.free[i].size >= size && (best < 0 || ar.free[i].size < ar.free[best].size) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	b := &ar.free[best]
+	addr := b.addr
+	b.addr += size
+	b.size -= size
+	if b.size == 0 {
+		ar.free = append(ar.free[:best], ar.free[best+1:]...)
+	}
+	return addr, true
+}
+
+// Alloc places the tensor and returns its region.
+func (a *Allocator) Alloc(t *tensor.Tensor) (Region, error) {
+	if _, dup := a.regions[t.ID]; dup {
+		return Region{}, fmt.Errorf("alloc: tensor %d (%s) already allocated", t.ID, t.Name)
+	}
+	if a.cfg.Mode == PageAligned {
+		// Exclusive whole pages, no arena: mapped here, unmapped on
+		// free.
+		size := a.roundSize(t.Size)
+		pages := size >> kernel.PageShift
+		first := a.nextPage
+		last := first + kernel.PageID(pages) - 1
+		tier := a.cfg.Tier(t)
+		if err := a.k.Map(first, last, tier); err != nil {
+			if err2 := a.k.Map(first, last, tier.Other()); err2 != nil {
+				return Region{}, fmt.Errorf("alloc: both tiers full: %v; %v", err, err2)
+			}
+			a.failedTier++
+		}
+		a.nextPage = last + 1
+		r := Region{Addr: int64(first) << kernel.PageShift, Size: t.Size}
+		a.regions[t.ID] = allocation{region: r, pageAligned: true}
+		return r, nil
+	}
+
+	key := fmt.Sprintf("g%d/%s", a.gen, a.groupOf(t))
+	ar := a.arenas[key]
+	if ar == nil {
+		ar = &arena{name: key}
+		if a.cfg.Pin != nil {
+			ar.pin = a.cfg.Pin(a.groupOf(t))
+		}
+		a.arenas[key] = ar
+	}
+	size := a.roundSize(t.Size)
+	addr, ok := a.takeBestFit(ar, size)
+	if !ok {
+		if err := a.grow(ar, size, a.cfg.Tier(t)); err != nil {
+			return Region{}, err
+		}
+		addr, ok = a.takeBestFit(ar, size)
+		if !ok {
+			return Region{}, fmt.Errorf("alloc: internal: grow did not satisfy %d bytes", size)
+		}
+	}
+	ar.live++
+	r := Region{Addr: addr, Size: t.Size}
+	a.regions[t.ID] = allocation{region: r, arenaKey: key}
+	return r, nil
+}
+
+// Free releases the tensor's region back to its arena. Page-aligned
+// allocations are unmapped immediately (shrinking the footprint); packed
+// arenas retain their chunks for reuse, as BFC does.
+func (a *Allocator) Free(t *tensor.Tensor) error {
+	rec, ok := a.regions[t.ID]
+	if !ok {
+		return fmt.Errorf("alloc: tensor %d (%s) not allocated", t.ID, t.Name)
+	}
+	delete(a.regions, t.ID)
+	if rec.pageAligned {
+		size := (t.Size + kernel.PageSize - 1) &^ (kernel.PageSize - 1)
+		first, last := kernel.PageSpan(rec.region.Addr, size)
+		a.k.Unmap(first, last, 0)
+		return nil
+	}
+	ar := a.arenas[rec.arenaKey]
+	if ar == nil {
+		return fmt.Errorf("alloc: tensor %d (%s): arena %q missing", t.ID, t.Name, rec.arenaKey)
+	}
+	ar.live--
+	// Round with the rounding rules of the arena's generation; packed
+	// arenas always use BFC rounding.
+	size := (t.Size + bfcRound - 1) &^ (bfcRound - 1)
+	a.freeInsert(ar, block{addr: rec.region.Addr, size: size})
+	return nil
+}
+
+// Region reports the live region of a tensor.
+func (a *Allocator) Region(id tensor.ID) (Region, bool) {
+	rec, ok := a.regions[id]
+	return rec.region, ok
+}
+
+// Live returns the number of live allocations.
+func (a *Allocator) Live() int { return len(a.regions) }
+
+// ArenaCount reports the number of packing domains in use.
+func (a *Allocator) ArenaCount() int { return len(a.arenas) }
+
+// ArenaBytes reports each arena's total mapped chunk bytes; a diagnostic
+// for occupancy analysis.
+func (a *Allocator) ArenaBytes() map[string]int64 {
+	out := make(map[string]int64, len(a.arenas))
+	for key, ar := range a.arenas {
+		var n int64
+		for _, c := range ar.chunks {
+			n += c.size
+		}
+		out[key] = n
+	}
+	return out
+}
+
+// chunkFree reports whether the chunk is entirely on the arena's free list
+// (no live allocation inside), returning the covering free-block index.
+func chunkFree(ar *arena, c block) (int, bool) {
+	i := sort.Search(len(ar.free), func(i int) bool { return ar.free[i].addr+ar.free[i].size > c.addr })
+	if i >= len(ar.free) {
+		return 0, false
+	}
+	b := ar.free[i]
+	return i, b.addr <= c.addr && b.addr+b.size >= c.addr+c.size
+}
+
+// Reclaim releases fully-free arena chunks whose pages sit on the given
+// tier, unmapping them until at least need bytes of that tier are freed
+// (or no more chunks qualify). This mirrors framework allocators returning
+// cached regions to the driver under memory pressure. Pinned arenas are
+// never reclaimed. Returns the bytes of the tier released.
+func (a *Allocator) Reclaim(tier memsys.Tier, need int64) int64 {
+	var freed int64
+	for _, ar := range a.arenas {
+		if ar.pin {
+			continue
+		}
+		for ci := 0; ci < len(ar.chunks); {
+			if freed >= need {
+				return freed
+			}
+			c := ar.chunks[ci]
+			fi, ok := chunkFree(ar, c)
+			if !ok {
+				ci++
+				continue
+			}
+			first, last := kernel.PageSpan(c.addr, c.size)
+			fastB, slowB := a.k.TierBytes(c.addr, c.size, a.now())
+			onTier := fastB
+			if tier == memsys.Slow {
+				onTier = slowB
+			}
+			if onTier == 0 {
+				ci++
+				continue
+			}
+			// Carve the chunk out of the covering free block.
+			b := ar.free[fi]
+			ar.free = append(ar.free[:fi], ar.free[fi+1:]...)
+			if b.addr < c.addr {
+				a.freeInsert(ar, block{addr: b.addr, size: c.addr - b.addr})
+			}
+			if end := b.addr + b.size; end > c.addr+c.size {
+				a.freeInsert(ar, block{addr: c.addr + c.size, size: end - (c.addr + c.size)})
+			}
+			a.k.Unmap(first, last, 0)
+			ar.chunks = append(ar.chunks[:ci], ar.chunks[ci+1:]...)
+			freed += onTier
+		}
+	}
+	return freed
+}

@@ -1,0 +1,286 @@
+package alloc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/tensor"
+)
+
+func testKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	spec := memsys.OptaneHM()
+	spec.Fast.Size = 8 << 20
+	spec.Slow.Size = 64 << 20
+	k, err := kernel.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func mkTensor(id int, size int64) *tensor.Tensor {
+	return &tensor.Tensor{ID: tensor.ID(id), Name: fmt.Sprintf("t%d", id), Size: size}
+}
+
+func TestPackedReusesFreedSpace(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{Mode: Packed})
+	t1 := mkTensor(1, 1000)
+	r1, err := a.Alloc(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(t1); err != nil {
+		t.Fatal(err)
+	}
+	t2 := mkTensor(2, 900)
+	r2, err := a.Alloc(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Addr != r1.Addr {
+		t.Fatalf("freed block not reused: %d vs %d", r2.Addr, r1.Addr)
+	}
+}
+
+func TestPackedSharesPages(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{Mode: Packed})
+	t1 := mkTensor(1, 300)
+	t2 := mkTensor(2, 300)
+	r1, _ := a.Alloc(t1)
+	r2, _ := a.Alloc(t2)
+	f1, _ := r1.Pages()
+	f2, _ := r2.Pages()
+	if f1 != f2 {
+		t.Fatalf("small packed tensors on different pages: %d vs %d", f1, f2)
+	}
+}
+
+func TestPageAlignedExclusivePages(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{Mode: PageAligned})
+	t1 := mkTensor(1, 100)
+	t2 := mkTensor(2, 100)
+	r1, _ := a.Alloc(t1)
+	r2, _ := a.Alloc(t2)
+	_, l1 := r1.Pages()
+	f2, _ := r2.Pages()
+	if l1 >= f2 {
+		t.Fatal("page-aligned tensors share a page")
+	}
+	if r1.Addr%kernel.PageSize != 0 {
+		t.Fatal("allocation not page-aligned")
+	}
+	before := k.MappedBytes()
+	if err := a.Free(t1); err != nil {
+		t.Fatal(err)
+	}
+	if k.MappedBytes() >= before {
+		t.Fatal("page-aligned free did not unmap")
+	}
+}
+
+func TestGroupedSeparation(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{
+		Mode: Grouped,
+		Group: func(t *tensor.Tensor) string {
+			if t.Size < 1000 {
+				return "small"
+			}
+			return "big"
+		},
+	})
+	small := mkTensor(1, 100)
+	big := mkTensor(2, 5000)
+	rs, _ := a.Alloc(small)
+	rb, _ := a.Alloc(big)
+	sf, sl := rs.Pages()
+	bf, bl := rb.Pages()
+	if !(sl < bf || bl < sf) {
+		t.Fatal("groups share pages")
+	}
+	if a.ArenaCount() != 2 {
+		t.Fatalf("arena count %d", a.ArenaCount())
+	}
+}
+
+func TestPinnedGroup(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{
+		Mode:  Grouped,
+		Group: func(*tensor.Tensor) string { return "pool" },
+		Tier:  func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+		Pin:   func(g string) bool { return g == "pool" },
+	})
+	ts := mkTensor(1, 4096)
+	r, err := a.Alloc(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, moved, _ := k.Migrate(r.Addr, r.Size, memsys.Slow, 0)
+	if moved != 0 {
+		t.Fatal("pinned pool pages migrated")
+	}
+}
+
+func TestTierFallback(t *testing.T) {
+	k := testKernel(t) // fast = 8 MiB
+	a := New(k, Config{
+		Mode: Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+	})
+	// 3 x 4 MiB cannot all fit in fast.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Alloc(mkTensor(i, 4<<20)); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if a.TierFallbacks() == 0 {
+		t.Fatal("no fallback recorded despite fast exhaustion")
+	}
+}
+
+func TestDoubleAllocAndUnknownFree(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{Mode: Packed})
+	ts := mkTensor(1, 64)
+	if _, err := a.Alloc(ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(ts); err == nil {
+		t.Fatal("double alloc accepted")
+	}
+	if err := a.Free(mkTensor(9, 64)); err == nil {
+		t.Fatal("freeing unallocated tensor accepted")
+	}
+}
+
+func TestReconfigureTearsDownDeadArenas(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{Mode: Packed})
+	live := mkTensor(1, 64)
+	dead := mkTensor(2, 1<<20)
+	if _, err := a.Alloc(live); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(dead); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(dead); err != nil {
+		t.Fatal(err)
+	}
+	before := k.MappedBytes()
+	a.Reconfigure(Config{Mode: Grouped, Group: func(*tensor.Tensor) string { return "g" }})
+	// The dead tensor's arena is gone; the live tensor's remains.
+	if k.MappedBytes() >= before {
+		t.Fatal("reconfigure did not unmap dead arenas")
+	}
+	if _, ok := a.Region(live.ID); !ok {
+		t.Fatal("live region lost across reconfigure")
+	}
+	// Free of a pre-reconfigure allocation must still work.
+	if err := a.Free(live); err != nil {
+		t.Fatalf("free across reconfigure: %v", err)
+	}
+	// New allocations use the new grouping.
+	if _, err := a.Alloc(mkTensor(3, 64)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReclaimReleasesDeadChunks(t *testing.T) {
+	k := testKernel(t)
+	a := New(k, Config{
+		Mode: Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+	})
+	big := mkTensor(1, 4<<20)
+	if _, err := a.Alloc(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(big); err != nil {
+		t.Fatal(err)
+	}
+	freedBefore := k.Free(memsys.Fast)
+	n := a.Reclaim(memsys.Fast, 1<<20)
+	if n == 0 {
+		t.Fatal("nothing reclaimed from a dead chunk")
+	}
+	if k.Free(memsys.Fast) <= freedBefore {
+		t.Fatal("reclaim did not increase free fast memory")
+	}
+	// Reclaim must not touch chunks with live tensors.
+	live := mkTensor(2, 4<<20)
+	if _, err := a.Alloc(live); err != nil {
+		t.Fatal(err)
+	}
+	a.Reclaim(memsys.Fast, 64<<20)
+	if _, ok := a.Region(live.ID); !ok {
+		t.Fatal("live allocation lost to reclaim")
+	}
+	if err := a.Free(live); err != nil {
+		t.Fatalf("free after reclaim: %v", err)
+	}
+}
+
+// TestRandomAllocFree drives random allocation and free sequences across
+// all modes and checks that live regions never overlap.
+func TestRandomAllocFree(t *testing.T) {
+	for _, mode := range []Mode{Packed, PageAligned, Grouped} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			k := testKernel(t)
+			a := New(k, Config{
+				Mode:  mode,
+				Group: func(ts *tensor.Tensor) string { return fmt.Sprintf("g%d", ts.Size%3) },
+			})
+			rng := rand.New(rand.NewSource(11))
+			live := map[int]*tensor.Tensor{}
+			next := 0
+			for i := 0; i < 1500; i++ {
+				if len(live) == 0 || rng.Intn(3) != 0 {
+					ts := mkTensor(next, int64(1+rng.Intn(20000)))
+					next++
+					if _, err := a.Alloc(ts); err != nil {
+						t.Fatalf("alloc: %v", err)
+					}
+					live[int(ts.ID)] = ts
+				} else {
+					for id, ts := range live {
+						if err := a.Free(ts); err != nil {
+							t.Fatalf("free: %v", err)
+						}
+						delete(live, id)
+						break
+					}
+				}
+				// Invariant: live regions are pairwise disjoint.
+				type span struct{ lo, hi int64 }
+				var spans []span
+				for id := range live {
+					r, ok := a.Region(tensor.ID(id))
+					if !ok {
+						t.Fatalf("live tensor %d has no region", id)
+					}
+					spans = append(spans, span{r.Addr, r.End()})
+				}
+				for x := range spans {
+					for y := x + 1; y < len(spans); y++ {
+						if spans[x].lo < spans[y].hi && spans[y].lo < spans[x].hi {
+							t.Fatalf("op %d: overlapping regions", i)
+						}
+					}
+				}
+			}
+			if a.Live() != len(live) {
+				t.Fatalf("live count %d, want %d", a.Live(), len(live))
+			}
+		})
+	}
+}

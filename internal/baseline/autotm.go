@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"fmt"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/ilp"
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// AutoTM reimplements the AutoTM [7] strategy: static (compile-time)
+// profiling feeds an integer linear program that assigns each tensor one
+// of three plans —
+//
+//   - fast: resident in fast memory for its whole lifetime;
+//   - offload: fast during its forward and backward access bursts, slow in
+//     between, with the moves executed synchronously at the burst edges
+//     (AutoTM's data movement sits on the critical path, per the paper's
+//     analysis; on GPU the reimplementation issues the prefetch one layer
+//     ahead asynchronously, as the paper's Sec. VII-C notes);
+//   - slow: resident in slow memory throughout.
+//
+// The ILP maximizes avoided slow-memory access cost minus movement cost,
+// subject to fast-memory capacity at every layer. Static profiling works
+// from graph metadata — it cannot see cache-filtered access counts or
+// co-allocation effects, which is exactly the gap the paper exploits.
+type AutoTM struct {
+	exec.Base
+	rt *exec.Runtime
+
+	// Per-tensor plans, indexed by tensor ID.
+	planFast, planOffload []bool
+	// burstEnd[id] is the layer after which an offloaded tensor moves
+	// out; burstResume[id] the layer before which it moves back in.
+	burstEnd, burstResume map[tensor.ID]int
+	// outAt[l] / inAt[l] are the moves scheduled at layer l boundaries.
+	outAt, inAt [][]tensor.ID
+	solved      bool
+	ilpOptimal  bool
+}
+
+// NewAutoTM returns the AutoTM baseline.
+func NewAutoTM() *AutoTM {
+	return &AutoTM{
+		burstEnd:    make(map[tensor.ID]int),
+		burstResume: make(map[tensor.ID]int),
+	}
+}
+
+// Name identifies the policy.
+func (p *AutoTM) Name() string { return "autotm" }
+
+// ILPOptimal reports whether the placement ILP was solved to optimality
+// within the node budget.
+func (p *AutoTM) ILPOptimal() bool { return p.ilpOptimal }
+
+// AllocConfig mirrors nGraph's static memory plan: one planned pool per
+// placement class, with offloaded tensors on exclusive pages so their
+// moves drag nothing else along.
+func (p *AutoTM) AllocConfig(g *graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Grouped,
+		Group: func(t *tensor.Tensor) string {
+			if !p.solved {
+				return "boot"
+			}
+			switch {
+			case p.planOffload[t.ID]:
+				return fmt.Sprintf("off-%d", t.ID)
+			case p.planFast[t.ID]:
+				return "fast-pool"
+			default:
+				return "slow-pool"
+			}
+		},
+		Tier: func(t *tensor.Tensor) memsys.Tier {
+			if p.solved && (p.planFast[t.ID] || p.planOffload[t.ID]) {
+				return memsys.Fast
+			}
+			return memsys.Slow
+		},
+	}
+}
+
+// TensorFreed releases the dead tensor's fast pages back to the plan; the
+// nGraph static plan reuses freed fast-pool space the same way.
+func (p *AutoTM) TensorFreed(t *tensor.Tensor, r alloc.Region) {
+	if p.planFast[t.ID] || p.planOffload[t.ID] {
+		p.rt.Kernel().Relocate(r.Addr, r.Size, memsys.Slow, p.rt.Now())
+	}
+}
+
+// Setup builds and solves the placement ILP from static information.
+func (p *AutoTM) Setup(rt *exec.Runtime) error {
+	p.rt = rt
+	g := rt.Graph()
+	spec := rt.Spec()
+
+	n := len(g.Tensors)
+	p.planFast = make([]bool, n)
+	p.planOffload = make([]bool, n)
+	p.outAt = make([][]tensor.ID, g.NumLayers)
+	p.inAt = make([][]tensor.ID, g.NumLayers)
+
+	deltaRead := 1/spec.Slow.ReadBW - 1/spec.Fast.ReadBW
+	deltaWrite := 1/spec.Slow.WriteBW - 1/spec.Fast.WriteBW
+	moveCost := 2.0 / spec.MigrationBW // out and back, exposed
+
+	// Variables: 2 per tensor (fast, offload). Offload is only
+	// meaningful for tensors with an idle gap of at least two layers.
+	prob := &ilp.Problem{Benefit: make([]float64, 2*n)}
+	layerRows := make([]ilp.Constraint, g.NumLayers)
+	for l := range layerRows {
+		layerRows[l] = ilp.Constraint{Coef: make(map[int]float64), Bound: float64(spec.Fast.Size)}
+	}
+	exclusive := make([]ilp.Constraint, 0, n)
+
+	type gap struct{ end, resume int }
+	gaps := make(map[tensor.ID]gap)
+	for id := 0; id < n; id++ {
+		t := g.Tensors[id]
+		var reads, writes int
+		for _, a := range t.AccessLayers {
+			reads += a.Reads
+			writes += a.Writes
+		}
+		benefit := float64(t.Size) * (float64(reads)*deltaRead + float64(writes)*deltaWrite)
+		prob.Benefit[2*id] = benefit
+		size := float64(t.Size)
+		for l := t.AllocLayer; l <= t.FreeLayer; l++ {
+			layerRows[l].Coef[2*id] = size
+		}
+		// Offload variable: fast only outside the largest access gap.
+		if bestGap := largestGap(t); bestGap.resume-bestGap.end > 2 {
+			gaps[t.ID] = gap{end: bestGap.end, resume: bestGap.resume}
+			prob.Benefit[2*id+1] = benefit - size*moveCost
+			for l := t.AllocLayer; l <= t.FreeLayer; l++ {
+				if l > bestGap.end && l < bestGap.resume {
+					continue
+				}
+				layerRows[l].Coef[2*id+1] = size
+			}
+			exclusive = append(exclusive, ilp.Constraint{
+				Coef:  map[int]float64{2 * id: 1, 2*id + 1: 1},
+				Bound: 1,
+			})
+		}
+	}
+	prob.Rows = append(layerRows, exclusive...)
+
+	res := ilp.Solve(prob, 100_000)
+	p.ilpOptimal = res.Optimal
+	for id := 0; id < n; id++ {
+		p.planFast[id] = res.X[2*id]
+		p.planOffload[id] = res.X[2*id+1]
+		if p.planOffload[id] {
+			gp := gaps[tensor.ID(id)]
+			p.burstEnd[tensor.ID(id)] = gp.end
+			p.burstResume[tensor.ID(id)] = gp.resume
+			p.outAt[gp.end] = append(p.outAt[gp.end], tensor.ID(id))
+			resumePrep := gp.resume - 1
+			p.inAt[resumePrep] = append(p.inAt[resumePrep], tensor.ID(id))
+		}
+	}
+	p.solved = true
+	return nil
+}
+
+type gapSpan struct{ end, resume int }
+
+// largestGap finds the biggest idle span between consecutive accesses.
+func largestGap(t *tensor.Tensor) gapSpan {
+	best := gapSpan{end: t.AllocLayer, resume: t.AllocLayer}
+	for i := 1; i < len(t.AccessLayers); i++ {
+		prev, next := t.AccessLayers[i-1].Layer, t.AccessLayers[i].Layer
+		if next-prev > best.resume-best.end {
+			best = gapSpan{end: prev, resume: next}
+		}
+	}
+	return best
+}
+
+// TensorAllocated pins planned-fast allocations onto fast pages (fresh
+// allocations are remapped, not copied).
+func (p *AutoTM) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
+	if p.planFast[t.ID] || p.planOffload[t.ID] {
+		p.rt.RelocateFresh(r, memsys.Fast)
+	}
+}
+
+// LayerEnd executes the scheduled moves. On CPU both directions are
+// synchronous (exposed on the critical path); on GPU the inbound move is
+// issued asynchronously one layer ahead.
+func (p *AutoTM) LayerEnd(l int) {
+	gpu := p.rt.Spec().GPULike
+	for _, id := range p.outAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); !ok {
+			continue
+		}
+		done, moved, _ := p.rt.MigrateTensor(id, memsys.Slow)
+		if moved > 0 && !gpu {
+			p.rt.WaitUntil(done)
+		}
+	}
+	for _, id := range p.inAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); !ok {
+			continue
+		}
+		done, moved, _ := p.rt.MigrateTensor(id, memsys.Fast)
+		if moved > 0 && !gpu {
+			p.rt.WaitUntil(done)
+		}
+	}
+}
+
+// MakeRoom implements exec.Evictor: when the static plan misjudges
+// capacity, AutoTM's runtime spills planned-fast tensors on demand,
+// largest idle gap first.
+func (p *AutoTM) MakeRoom(rt *exec.Runtime, need int64) int64 {
+	g := rt.Graph()
+	var freed int64
+	for _, t := range g.Tensors {
+		if freed >= need {
+			break
+		}
+		if t.ShortLived() || t.Size < 1<<20 {
+			continue
+		}
+		if _, ok := rt.Alloc().Region(t.ID); !ok {
+			continue
+		}
+		_, moved, _ := rt.MigrateTensor(t.ID, memsys.Slow)
+		freed += moved
+	}
+	return freed
+}
+
+// simtime anchors the duration types used in the cost model docs.
+var _ simtime.Duration

@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"sentinel/internal/exec"
+	"sentinel/internal/memsys"
+	"sentinel/internal/model"
+	"sentinel/internal/simtime"
+)
+
+// TestDebugUMOOM inspects the fast-memory population when UM hits OOM.
+func TestDebugUMOOM(t *testing.T) {
+	g, err := model.Build("bert-large", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewUM()
+	rt, err := exec.NewRuntime(g, memsys.GPUHM(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.RunSteps(1)
+	if err == nil || !errors.Is(err, exec.ErrOOM) {
+		t.Skipf("no OOM: %v", err)
+	}
+	k := rt.Kernel()
+	var liveFast, liveCount int64
+	for id := range g.Tensors {
+		r, ok := rt.Alloc().Region(g.Tensors[id].ID)
+		if !ok {
+			continue
+		}
+		f, _ := k.TierBytes(r.Addr, r.Size, rt.Now())
+		if f > 0 {
+			liveFast += f
+			liveCount++
+			if f > 64<<20 {
+				t.Logf("live fast tensor %s: %s fast (recency %v)", g.Tensors[id].Name,
+					simtime.Bytes(f), p.recency[g.Tensors[id].ID])
+			}
+		}
+	}
+	t.Logf("live fast bytes: %s across %d tensors; kernel fast used %s; opIdx=%d",
+		simtime.Bytes(liveFast), liveCount, simtime.Bytes(k.Used(memsys.Fast)), p.opIdx)
+}

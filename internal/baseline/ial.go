@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// IAL is the paper's CPU-side state-of-the-art comparison [19]: an
+// improved-active-list page manager in the style of Nimble/HeMem. It works
+// purely at the OS page level — no tensor semantics — keeping a FIFO active
+// list of fast-memory page ranges:
+//
+//   - a slow page touched twice within a promotion window is promoted to
+//     fast memory (asynchronously);
+//   - when fast memory runs low, ranges are demoted from the FIFO tail.
+//
+// Because IAL sees only pages, it promotes after the fact (the first
+// accesses already paid slow-memory cost), drags cold bytes that share a
+// page with hot bytes, and keeps dead pages resident — the three costs
+// Sentinel's tensor-level design removes.
+type IAL struct {
+	exec.Base
+	rt *exec.Runtime
+
+	// active is the FIFO of promoted ranges (oldest first).
+	active []pageRange
+	// touched records one prior touch per range key for the two-touch
+	// promotion filter.
+	touched map[kernel.PageID]simtime.Time
+	// lowWater is the free-bytes threshold that triggers demotion.
+	lowWater int64
+}
+
+type pageRange struct {
+	first, last kernel.PageID
+}
+
+func (r pageRange) bytes() int64 {
+	return (int64(r.last-r.first) + 1) * kernel.PageSize
+}
+
+// promotionWindow is how recent the first touch must be for the second
+// touch to trigger promotion.
+const promotionWindow = 50 * simtime.Millisecond
+
+// NewIAL returns the improved-active-list baseline.
+func NewIAL() *IAL {
+	return &IAL{touched: make(map[kernel.PageID]simtime.Time)}
+}
+
+// Name identifies the policy.
+func (p *IAL) Name() string { return "ial" }
+
+// AllocConfig packs BFC-style; pages start on slow memory and earn their
+// way up by being touched, as under first-touch-to-slow + active lists.
+func (p *IAL) AllocConfig(*graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Slow },
+	}
+}
+
+// Setup hooks page touches.
+func (p *IAL) Setup(rt *exec.Runtime) error {
+	p.rt = rt
+	p.lowWater = rt.Spec().Fast.Size / 16
+	rt.Kernel().SetTouchHook(p.onTouch)
+	return nil
+}
+
+// onTouch implements the two-touch promotion filter over page ranges.
+func (p *IAL) onTouch(first, last kernel.PageID, write bool, at simtime.Time) {
+	k := p.rt.Kernel()
+	addr := int64(first) << kernel.PageShift
+	size := (int64(last-first) + 1) * kernel.PageSize
+	movable := k.MigrateStats(addr, size, memsys.Fast, at)
+	if movable == 0 {
+		return // already fast or mid-flight
+	}
+	// The "improved" active list promotes eagerly on first touch (the
+	// plain two-touch filter leaves streaming workloads entirely in slow
+	// memory); the FIFO demotion below provides the churn control.
+	delete(p.touched, first)
+	// Demote from the FIFO tail until the promotion fits. List entries
+	// can be stale (their pages unmapped or already migrated); when the
+	// list drains while fast memory is still full, fall back to scanning
+	// resident pages the way the kernel's LRU lists do.
+	for tries := 0; k.Free(memsys.Fast) < movable+p.lowWater && tries < 64; tries++ {
+		if len(p.active) > 0 {
+			victim := p.active[0]
+			p.active = p.active[1:]
+			vaddr := int64(victim.first) << kernel.PageShift
+			p.rt.MigrateRange(vaddr, victim.bytes(), memsys.Slow)
+			continue
+		}
+		vaddr, vsize, ok := k.FirstOnTier(memsys.Fast, at)
+		if !ok {
+			break
+		}
+		if _, moved, _ := p.rt.MigrateRange(vaddr, vsize, memsys.Slow); moved == 0 {
+			break
+		}
+	}
+	if k.Free(memsys.Fast) < movable {
+		return // could not make room; stay in slow memory
+	}
+	_, moved, _ := p.rt.MigrateRange(addr, size, memsys.Fast)
+	if moved > 0 {
+		p.active = append(p.active, pageRange{first: first, last: last})
+	}
+}
+
+// StepEnd trims stale touch records so the map does not grow without
+// bound across steps.
+func (p *IAL) StepEnd(step int, _ *metrics.StepStats) {
+	if len(p.touched) > 1<<16 {
+		p.touched = make(map[kernel.PageID]simtime.Time)
+	}
+}

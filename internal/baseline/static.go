@@ -1,0 +1,80 @@
+// Package baseline implements the tensor-management strategies the paper
+// compares Sentinel against: static placements (fast-only, slow-only,
+// first-touch NUMA), hardware-managed caching (Optane Memory Mode), the
+// page-level IAL migrator, AutoTM's ILP-planned movement, and the GPU-side
+// systems (Unified Memory, vDNN, SwapAdvisor, Capuchin). All are Policy
+// implementations over the same engine as Sentinel.
+package baseline
+
+import (
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/tensor"
+)
+
+// Static places every tensor on a fixed tier and never migrates. With
+// Tier=Fast and an uncapped fast tier it is the paper's "fast memory-only"
+// reference; with Tier=Slow it is "slow memory-only".
+type Static struct {
+	exec.Base
+	Tier memsys.Tier
+}
+
+// NewFastOnly returns the fast-memory-only reference policy.
+func NewFastOnly() *Static { return &Static{Tier: memsys.Fast} }
+
+// NewSlowOnly returns the slow-memory-only reference policy.
+func NewSlowOnly() *Static { return &Static{Tier: memsys.Slow} }
+
+// Name identifies the policy.
+func (s *Static) Name() string {
+	if s.Tier == memsys.Fast {
+		return "fast-only"
+	}
+	return "slow-only"
+}
+
+// AllocConfig packs everything BFC-style on the fixed tier.
+func (s *Static) AllocConfig(*graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return s.Tier },
+	}
+}
+
+// FirstTouch is the default Linux NUMA policy on the paper's platform:
+// pages land on the fast node until it fills, then on the slow node, and
+// never move afterwards.
+type FirstTouch struct {
+	exec.Base
+	rt *exec.Runtime
+}
+
+// NewFirstTouch returns the first-touch NUMA baseline.
+func NewFirstTouch() *FirstTouch { return &FirstTouch{} }
+
+// Name identifies the policy.
+func (f *FirstTouch) Name() string { return "first-touch" }
+
+// Setup retains the runtime for capacity queries.
+func (f *FirstTouch) Setup(rt *exec.Runtime) error {
+	f.rt = rt
+	return nil
+}
+
+// AllocConfig places new pages on fast memory while it has room.
+func (f *FirstTouch) AllocConfig(*graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Packed,
+		Tier: func(t *tensor.Tensor) memsys.Tier {
+			// During runtime construction (preallocation) f.rt is
+			// still nil; those first tensors touch fast first.
+			if f.rt == nil || f.rt.Kernel().Free(memsys.Fast) >= t.Size {
+				return memsys.Fast
+			}
+			return memsys.Slow
+		},
+	}
+}

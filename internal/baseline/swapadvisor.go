@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/ga"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// staticLayerTimes estimates per-layer execution time from op FLOPs — the
+// compile-time view SwapAdvisor's and AutoTM's planners work from.
+func staticLayerTimes(g *graph.Graph, spec memsys.Spec) []simtime.Duration {
+	times := make([]simtime.Duration, g.NumLayers)
+	for i := range g.Ops {
+		times[g.Ops[i].Layer] += simtime.FromSeconds(g.Ops[i].FLOPs / spec.ComputeRate)
+	}
+	return times
+}
+
+// swapCandidate is a tensor SwapAdvisor may schedule out and back.
+type swapCandidate struct {
+	id          tensor.ID
+	size        int64
+	end, resume int // idle-gap boundaries in layers
+}
+
+// swapCandidates finds long-lived tensors with an idle gap worth swapping
+// across.
+func swapCandidates(g *graph.Graph, minSize int64) []swapCandidate {
+	var out []swapCandidate
+	for _, t := range g.Tensors {
+		if t.ShortLived() || t.Size < minSize {
+			continue
+		}
+		gp := largestGap(t)
+		if gp.resume-gp.end < 3 {
+			continue
+		}
+		out = append(out, swapCandidate{id: t.ID, size: t.Size, end: gp.end, resume: gp.resume})
+	}
+	return out
+}
+
+// SwapAdvisor reimplements the SwapAdvisor [8] strategy: a genetic
+// algorithm searches the joint space of swap selection and prefetch
+// timing, scored by an analytic cost model built from static layer times.
+// The search has no layer-structure awareness — prefetch leads are free
+// genes — so part of the transfer time stays exposed (the paper measures
+// 81% more exposed migration than Sentinel), and the GA decision itself is
+// expensive (tens of minutes on real systems; the paper notes it may not
+// converge for BERT-class models within 30 minutes).
+type SwapAdvisor struct {
+	exec.Base
+	rt    *exec.Runtime
+	cands []swapCandidate
+	// genes[i]: 0 = stay resident; 1..maxLead = swap out after the
+	// forward burst and prefetch that many layers before reuse.
+	genes ga.Genome
+	// schedules by layer.
+	outAt, inAt [][]tensor.ID
+	// SearchCost is the simulated wall-clock the GA decision took; it is
+	// reported, not charged to steady-state steps (the paper discusses it
+	// as deployment overhead).
+	SearchCost simtime.Duration
+}
+
+const saMaxLead = 4
+
+// NewSwapAdvisor returns the SwapAdvisor baseline.
+func NewSwapAdvisor() *SwapAdvisor { return &SwapAdvisor{} }
+
+// Name identifies the policy.
+func (p *SwapAdvisor) Name() string { return "swapadvisor" }
+
+// AllocConfig keeps allocations on the GPU; the GA schedule creates room.
+func (p *SwapAdvisor) AllocConfig(*graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+	}
+}
+
+// Setup runs the GA search and freezes the swap schedule.
+func (p *SwapAdvisor) Setup(rt *exec.Runtime) error {
+	p.rt = rt
+	g := rt.Graph()
+	spec := rt.Spec()
+	p.cands = swapCandidates(g, 1<<20)
+	layerT := staticLayerTimes(g, spec)
+
+	domain := make([]int, len(p.cands))
+	for i := range domain {
+		domain[i] = saMaxLead + 1
+	}
+	evals := 0
+	cost := func(gen ga.Genome) float64 {
+		evals++
+		return p.scoreSchedule(gen, layerT, spec)
+	}
+	cfg := ga.DefaultConfig()
+	best, _ := ga.Minimize(domain, cost, cfg)
+	p.genes = best
+	// Each evaluation of the real SwapAdvisor runs a simulated schedule;
+	// model the decision latency it reports (~tens of minutes scaled to
+	// evaluation count).
+	p.SearchCost = simtime.Duration(evals) * 10 * simtime.Millisecond
+
+	p.outAt = make([][]tensor.ID, g.NumLayers)
+	p.inAt = make([][]tensor.ID, g.NumLayers)
+	for i, c := range p.cands {
+		lead := best[i]
+		if lead == 0 {
+			continue
+		}
+		in := c.resume - lead
+		if in <= c.end {
+			in = c.end + 1
+		}
+		p.outAt[c.end] = append(p.outAt[c.end], c.id)
+		p.inAt[in] = append(p.inAt[in], c.id)
+	}
+	return nil
+}
+
+// scoreSchedule is the GA fitness: exposed transfer time plus capacity
+// violation penalties, from static layer times only.
+func (p *SwapAdvisor) scoreSchedule(gen ga.Genome, layerT []simtime.Duration, spec memsys.Spec) float64 {
+	g := p.rt.Graph()
+	// Fast usage per layer, assuming non-swapped tensors are resident.
+	usage := make([]int64, g.NumLayers)
+	for _, t := range g.Tensors {
+		for l := t.AllocLayer; l <= t.FreeLayer; l++ {
+			usage[l] += t.Size
+		}
+	}
+	var exposed float64
+	for i, c := range p.cands {
+		lead := gen[i]
+		if lead == 0 {
+			continue
+		}
+		for l := c.end + 1; l < c.resume && l < len(usage); l++ {
+			usage[l] -= c.size
+		}
+		var overlap simtime.Duration
+		for l := c.resume - lead; l < c.resume && l >= 0; l++ {
+			overlap += layerT[l]
+		}
+		transfer := simtime.TransferTime(c.size, spec.MigrationBW)
+		if transfer > overlap {
+			exposed += (transfer - overlap).Seconds()
+		}
+	}
+	var penalty float64
+	for l := range usage {
+		if over := usage[l] - spec.Fast.Size; over > 0 {
+			penalty += float64(over) * 1e-6
+		}
+	}
+	return exposed + penalty
+}
+
+// TensorAllocated keeps fresh allocations on the GPU when possible.
+func (p *SwapAdvisor) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
+	if p.rt.Kernel().Free(memsys.Fast) >= 0 {
+		p.rt.RelocateFresh(r, memsys.Fast)
+	}
+}
+
+// LayerStart issues scheduled prefetches.
+func (p *SwapAdvisor) LayerStart(l int) {
+	for _, id := range p.inAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); ok {
+			p.rt.MigrateTensor(id, memsys.Fast)
+		}
+	}
+}
+
+// LayerEnd issues scheduled swap-outs.
+func (p *SwapAdvisor) LayerEnd(l int) {
+	for _, id := range p.outAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); ok {
+			p.rt.MigrateTensor(id, memsys.Slow)
+		}
+	}
+}
+
+// MakeRoom implements exec.Evictor: fall back to swapping unscheduled
+// candidates on demand (SwapAdvisor's runtime does on-demand eviction when
+// the schedule misjudged capacity).
+func (p *SwapAdvisor) MakeRoom(rt *exec.Runtime, need int64) int64 {
+	var freed int64
+	for _, c := range p.cands {
+		if freed >= need {
+			break
+		}
+		if _, ok := rt.Alloc().Region(c.id); !ok {
+			continue
+		}
+		_, moved, _ := rt.MigrateTensor(c.id, memsys.Slow)
+		freed += moved
+	}
+	return freed
+}

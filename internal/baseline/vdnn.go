@@ -1,0 +1,122 @@
+package baseline
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/tensor"
+)
+
+// VDNN reimplements the vDNN [6] strategy: offload the input feature maps
+// of convolution layers to host memory right after their forward use, and
+// prefetch each one when the corresponding backward layer begins. vDNN
+// relies on domain knowledge rather than profiling:
+//
+//   - only convolution-layer feature maps (Activation tensors) move; all
+//     other tensors stay on the GPU;
+//   - the prefetch is issued at the start of the backward layer that
+//     consumes the map — with no view of per-layer timing, so most of the
+//     transfer is exposed on the critical path (the paper measures 3x more
+//     exposed migration than Sentinel);
+//   - recursive architectures (LSTM, BERT) are unsupported, exactly as the
+//     paper notes.
+type VDNN struct {
+	exec.Base
+	rt *exec.Runtime
+	// offloadAt[l] / prefetchAt[l] schedule feature-map moves at layer
+	// boundaries.
+	offloadAt, prefetchAt [][]tensor.ID
+}
+
+// NewVDNN returns the vDNN baseline.
+func NewVDNN() *VDNN { return &VDNN{} }
+
+// Name identifies the policy.
+func (p *VDNN) Name() string { return "vdnn" }
+
+// ErrUnsupportedModel reports a model vDNN cannot manage.
+var ErrUnsupportedModel = fmt.Errorf("vdnn: recursive architectures are unsupported")
+
+// Supported reports whether vDNN can handle the model (feed-forward CNNs
+// only).
+func Supported(modelName string) bool {
+	return !strings.Contains(modelName, "bert") && !strings.Contains(modelName, "lstm")
+}
+
+// AllocConfig keeps everything on the GPU; offloaded maps are the only
+// tensors that leave.
+func (p *VDNN) AllocConfig(*graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+	}
+}
+
+// Setup derives the offload/prefetch schedule from the graph topology.
+func (p *VDNN) Setup(rt *exec.Runtime) error {
+	p.rt = rt
+	g := rt.Graph()
+	if !Supported(g.Model) {
+		return fmt.Errorf("%w: %s", ErrUnsupportedModel, g.Model)
+	}
+	p.offloadAt = make([][]tensor.ID, g.NumLayers)
+	p.prefetchAt = make([][]tensor.ID, g.NumLayers)
+	for _, t := range g.Tensors {
+		if t.Kind != tensor.Activation || t.ShortLived() || t.Size < 1<<20 {
+			continue
+		}
+		// Only the input feature maps of convolution layers move — the
+		// block outputs that feed the next conv. Intermediates kept for
+		// normalization backward stay resident; this domain-knowledge
+		// limitation is what caps vDNN's batch size (Table V).
+		if !strings.HasSuffix(t.Name, ".out") {
+			continue
+		}
+		// Feature map: find the last forward access and the first
+		// backward access.
+		mid := g.NumLayers / 2
+		lastFwd, firstBwd := -1, -1
+		for _, a := range t.AccessLayers {
+			if a.Layer < mid && a.Layer > lastFwd {
+				lastFwd = a.Layer
+			}
+			if a.Layer >= mid && (firstBwd == -1 || a.Layer < firstBwd) {
+				firstBwd = a.Layer
+			}
+		}
+		if lastFwd < 0 || firstBwd < 0 {
+			continue
+		}
+		p.offloadAt[lastFwd] = append(p.offloadAt[lastFwd], t.ID)
+		p.prefetchAt[firstBwd] = append(p.prefetchAt[firstBwd], t.ID)
+	}
+	return nil
+}
+
+// LayerStart prefetches the feature maps this backward layer consumes —
+// issued only now, so the engine's residency stall exposes the transfer.
+func (p *VDNN) LayerStart(l int) {
+	for _, id := range p.prefetchAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); ok {
+			p.rt.MigrateTensor(id, memsys.Fast)
+		}
+	}
+}
+
+// LayerEnd offloads feature maps whose forward use just finished.
+func (p *VDNN) LayerEnd(l int) {
+	for _, id := range p.offloadAt[l] {
+		if _, ok := p.rt.Alloc().Region(id); ok {
+			p.rt.MigrateTensor(id, memsys.Slow)
+		}
+	}
+}
+
+// MakeRoom implements exec.Evictor minimally: vDNN has no general
+// eviction; it fails allocation when conv-map offloading is not enough,
+// which bounds its maximum batch size below Sentinel's (Table V).
+func (p *VDNN) MakeRoom(rt *exec.Runtime, need int64) int64 { return 0 }

@@ -1,0 +1,573 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/profile"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// Config selects Sentinel features; the Figure 13 ablations toggle them.
+type Config struct {
+	// ForceMIL bypasses the performance model with a fixed migration
+	// interval length (0 = choose via Equations 1 and 2).
+	ForceMIL int
+	// ReserveShortPool pins a reserved fast-memory pool for short-lived
+	// tensors (Sec. IV-C).
+	ReserveShortPool bool
+	// CoAllocate groups tensors by lifetime and access frequency to
+	// avoid page-level false sharing (Sec. IV-B).
+	CoAllocate bool
+	// TestAndTrial resolves Case 3 (migration unfinished for lack of
+	// time) by trying continuation vs no-migration for one step each
+	// and keeping the winner (CPU only; on GPU the engine must wait).
+	TestAndTrial bool
+	// VariableMIL uses variable-length migration intervals grown from
+	// the model-chosen base length (Sec. IV-E's alternative design; the
+	// paper finds it brings minimal benefit).
+	VariableMIL bool
+	// WarmupSteps delays profiling: the paper's implementation skips the
+	// first 10 steps, which TensorFlow uses to detect hardware
+	// configurations, and profiles the 11th (Sec. VI). Warm-up steps run
+	// with the framework's default packed allocation on slow memory.
+	WarmupSteps int
+}
+
+// DefaultConfig returns full-featured Sentinel.
+func DefaultConfig() Config {
+	return Config{ReserveShortPool: true, CoAllocate: true, TestAndTrial: true}
+}
+
+// DirectConfig is the Figure 13 "direct tensor migration" ablation:
+// migrate purely on forthcoming use (one-layer intervals), no reserved
+// pool, no co-allocation.
+func DirectConfig() Config {
+	return Config{ForceMIL: 1}
+}
+
+// DetMIConfig is the Figure 13 "w/ det. MI" ablation: model-chosen
+// interval length but no reserved pool and no co-allocation.
+func DetMIConfig() Config {
+	return Config{}
+}
+
+// test-and-trial states.
+const (
+	ttIdle = iota
+	ttTrialWait
+	ttTrialNoWait
+	ttLocked
+)
+
+// variantState holds the profile and migration plan of one dataflow
+// variant (one input bucket or one control-flow path, Sec. IV-E); static
+// models have exactly one.
+type variantState struct {
+	prof *profile.Profile
+	plan *Plan
+	// pendingReady[k] is the completion instant of the prefetch issued
+	// for interval k (persisted across the step wrap).
+	pendingReady []simtime.Time
+	// missing[k] is the bytes of interval k's needs that were not fast-
+	// resident at its last prefetch — the eviction-pressure signal.
+	missing []int64
+}
+
+// Sentinel is the runtime system of the paper: one profiling step per
+// dataflow variant, data reorganization, then adaptive layer-based
+// migration.
+type Sentinel struct {
+	cfg Config
+	rt  *exec.Runtime
+
+	variants map[int]*variantState
+	cur      *variantState
+	// profiling is non-nil while the current step is a profiling step.
+	profiling *profile.Recorder
+	curLayer  int
+	profSteps int
+
+	// Test-and-trial state (global: the trade-off is a property of the
+	// machine, not the variant).
+	waitMode bool
+	ttState  int
+	ttSteps  int
+	waitTime simtime.Duration
+	sawCase3 bool
+	case3s   int
+
+	// Diag counters (per run).
+	diag struct {
+		evictTried, evictMoved     int64
+		prefetchTried, prefetchHit int64
+		allocFast, allocSlow       int64
+		relocated                  int64
+	}
+}
+
+// New returns a Sentinel policy with the config.
+func New(cfg Config) *Sentinel {
+	return &Sentinel{cfg: cfg, waitMode: true, variants: make(map[int]*variantState)}
+}
+
+// NewDefault returns full-featured Sentinel.
+func NewDefault() *Sentinel { return New(DefaultConfig()) }
+
+// Name identifies the policy.
+func (s *Sentinel) Name() string { return "sentinel" }
+
+// Profile returns the current variant's profile (nil before its profiling
+// step completes).
+func (s *Sentinel) Profile() *profile.Profile {
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.prof
+}
+
+// Plan returns the current variant's migration plan (nil before its
+// profiling step completes).
+func (s *Sentinel) Plan() *Plan {
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.plan
+}
+
+// Variants reports how many dataflow variants have been seen.
+func (s *Sentinel) Variants() int { return len(s.variants) }
+
+// OverheadSteps reports profiling plus test-and-trial steps — the Table
+// III runtime-overhead accounting. One profiling step per variant.
+func (s *Sentinel) OverheadSteps() int { return s.profSteps + s.ttSteps }
+
+// Case3Count reports how many Case-3 occurrences were observed.
+func (s *Sentinel) Case3Count() int { return s.case3s }
+
+// managed reports whether the current step runs under a plan.
+func (s *Sentinel) managed() bool {
+	return s.profiling == nil && s.cur != nil && s.cur.plan != nil
+}
+
+// AllocConfig starts page-aligned on slow memory: profiling-ready, and
+// preallocated tensors never share pages (they cannot be reorganized
+// later). With warm-up steps configured, training starts under the
+// framework's default packed allocator instead and switches at profiling
+// time. Preallocated tensors keep exclusive pages either way — they cannot
+// be reorganized later (Sec. IV-B).
+func (s *Sentinel) AllocConfig(*graph.Graph) alloc.Config {
+	if s.cfg.WarmupSteps > 0 {
+		cfg := s.profilingAllocConfig()
+		cfg.Mode = alloc.Grouped
+		cfg.Group = func(t *tensor.Tensor) string {
+			if t.Preallocated {
+				return fmt.Sprintf("prealloc-%d", t.ID)
+			}
+			return "warmup"
+		}
+		return cfg
+	}
+	return s.profilingAllocConfig()
+}
+
+func (s *Sentinel) profilingAllocConfig() alloc.Config {
+	return alloc.Config{
+		Mode: alloc.PageAligned,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Slow },
+	}
+}
+
+// Setup retains the runtime; profiling starts with the first step of each
+// unseen variant.
+func (s *Sentinel) Setup(rt *exec.Runtime) error {
+	s.rt = rt
+	return nil
+}
+
+// StepStart begins a profiling step whenever the incoming dataflow variant
+// has not been seen — the first step of training, a new input bucket, or a
+// new control-flow path (Sec. IV-E).
+func (s *Sentinel) StepStart(step int) {
+	s.sawCase3 = false
+	if step < s.cfg.WarmupSteps {
+		s.cur = nil // unmanaged warm-up step
+		return
+	}
+	v := s.rt.Graph().Variant
+	if st, ok := s.variants[v]; ok {
+		s.cur = st
+		return
+	}
+	// Unseen dataflow: profile this step.
+	s.cur = &variantState{}
+	s.variants[v] = s.cur
+	s.profSteps++
+	if step > 0 || s.cfg.WarmupSteps > 0 {
+		// Re-profiling mid-training: switch the allocator back to
+		// page-aligned placement on slow memory for this step.
+		s.rt.Alloc().Reconfigure(s.profilingAllocConfig())
+	}
+	s.profiling = profile.NewRecorder(s.rt)
+	// Preallocated tensors were placed at runtime construction; poison
+	// and register them with this step's recorder.
+	g := s.rt.Graph()
+	for _, id := range g.Prealloc {
+		if r, ok := s.rt.Alloc().Region(id); ok {
+			s.profiling.TensorAllocated(g.T(id), r)
+		}
+	}
+}
+
+// LayerStart drives profiling attribution and, in the managed phase, the
+// interval machinery: Case-3 resolution for the starting interval and
+// prefetch issue for the next one.
+func (s *Sentinel) LayerStart(l int) {
+	s.curLayer = l
+	if s.profiling != nil {
+		s.profiling.LayerStart(l)
+		return
+	}
+	if !s.managed() {
+		return
+	}
+	plan := s.cur.plan
+	if !plan.IntervalStart(l) {
+		return
+	}
+	k := plan.IntervalOf(l)
+	// Interval-boundary coordination: synchronize with the migration
+	// helper threads and compute the migration set. This fixed cost is
+	// what makes one-layer intervals expensive (Fig. 5).
+	s.rt.WaitUntil(s.rt.Now().Add(s.rt.Spec().SyncCost))
+	// Case 3: the prefetch for this interval has not finished.
+	if s.cur.pendingReady[k] > s.rt.Now() {
+		s.case3s++
+		s.sawCase3 = true
+		if s.shouldWait() {
+			s.rt.WaitUntil(s.cur.pendingReady[k])
+		}
+	}
+	nk := plan.NextInterval(k)
+	s.prefetch(nk)
+	// If the inbound channel has slack, start on the interval after next
+	// too — deeper pipelining costs nothing when capacity allows, and
+	// idempotent migration skips anything already resident or in flight.
+	if s.rt.Kernel().InChannel().Idle(s.rt.Now()) {
+		s.prefetch(plan.NextInterval(nk))
+	}
+}
+
+// shouldWait reports whether Case 3 is resolved by waiting for migration
+// (vs leaving tensors in slow memory), per the test-and-trial outcome. On
+// GPU-like machines the engine's residency stalls wait exactly as long as
+// needed, so no explicit wait is added.
+func (s *Sentinel) shouldWait() bool {
+	if s.rt.Spec().GPULike {
+		return false
+	}
+	if !s.cfg.TestAndTrial {
+		return true
+	}
+	return s.waitMode
+}
+
+// prefetch queues migration of interval k's tensors into fast memory in
+// need order (the paper migrates in access-count order; see intervalNeeds
+// for how the two are combined), stopping at capacity; completion time is
+// recorded for Case-3 detection.
+func (s *Sentinel) prefetch(k int) {
+	ready := s.cur.pendingReady[k]
+	kern := s.rt.Kernel()
+	var missing int64
+	defer func() { s.cur.missing[k] = missing }()
+	for _, id := range s.cur.plan.Needs[k] {
+		r, ok := s.rt.Alloc().Region(id)
+		if !ok {
+			continue // produced later in the step
+		}
+		movable := kern.MigrateStats(r.Addr, r.Size, memsys.Fast, s.rt.Now())
+		if movable == 0 {
+			continue
+		}
+		missing += movable
+		if free := kern.Free(memsys.Fast); free < movable {
+			// Make room: release dead allocator chunks, then evict
+			// tensors whose next use is farthest.
+			s.rt.Alloc().Reclaim(memsys.Fast, movable-free)
+			if free = kern.Free(memsys.Fast); free < movable {
+				s.MakeRoom(s.rt, movable-free)
+			}
+		}
+		if kern.Free(memsys.Fast) < movable {
+			continue // left out in slow memory; hotter tensors won
+		}
+		done, moved, _ := s.rt.MigrateRange(r.Addr, r.Size, memsys.Fast)
+		s.diag.prefetchHit += moved
+		if done > ready {
+			ready = done
+		}
+	}
+	s.cur.pendingReady[k] = ready
+}
+
+// LayerEnd evicts tensors whose next use is far away, freeing fast memory
+// for upcoming prefetches (this is what prevents Case 2). Eviction is
+// demand-driven: when everything upcoming is already resident, nothing
+// moves — a model that fits trains migration-free.
+func (s *Sentinel) LayerEnd(l int) {
+	if !s.managed() {
+		return
+	}
+	plan := s.cur.plan
+	k := plan.IntervalOf(l)
+	next := plan.NextInterval(k)
+	pressure := s.cur.missing[next]
+	if plan.NumIntervals > 2 {
+		pressure += s.cur.missing[plan.NextInterval(next)]
+	}
+	if pressure == 0 {
+		return
+	}
+	// Free space must cover the upcoming prefetches and the fresh
+	// allocations that will compete for it; only a comfortable surplus
+	// makes eviction skippable, and only on machines whose compute
+	// cannot read slow memory in place (on CPU, eager eviction keeps
+	// the write path in fast memory and costs nothing off the critical
+	// path).
+	if s.rt.Spec().GPULike && s.rt.Kernel().Free(memsys.Fast) >= 2*pressure {
+		return
+	}
+	for _, id := range plan.EvictAt[l] {
+		if _, ok := s.rt.Alloc().Region(id); ok {
+			s.diag.evictTried++
+			_, moved, _ := s.rt.MigrateTensor(id, memsys.Slow)
+			s.diag.evictMoved += moved
+		}
+	}
+}
+
+// OpStart is unused; migration is layer-driven.
+func (s *Sentinel) OpStart(int, *graph.Op) {}
+
+// OpEnd is unused.
+func (s *Sentinel) OpEnd(int, *graph.Op) {}
+
+// TensorAllocated records profiling lifetimes during profiling steps. In
+// the managed phase it places fresh allocations on fast memory when there
+// is room: new tensors carry no data, so placement is a page-table remap,
+// not a copy — the allocator may have handed back virtual space whose
+// pages were evicted to slow memory earlier.
+func (s *Sentinel) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
+	if s.profiling != nil {
+		s.profiling.TensorAllocated(t, r)
+		return
+	}
+	if !s.managed() {
+		return
+	}
+	if s.allocTier(t) != memsys.Fast && t.Size >= 1<<20 && !s.short(t.ID) {
+		// Large tensor with no room: evict far-future tensors first,
+		// as the GPU path does, then retry.
+		s.MakeRoom(s.rt, t.Size-s.rt.Kernel().Free(memsys.Fast))
+	}
+	if s.allocTier(t) == memsys.Fast {
+		s.diag.allocFast++
+		s.diag.relocated += s.rt.RelocateFresh(r, memsys.Fast)
+	} else {
+		s.diag.allocSlow++
+	}
+}
+
+// short reports the profiled short-lived classification of a tensor id,
+// defensively false for unprofiled ids.
+func (s *Sentinel) short(id tensor.ID) bool {
+	return s.cur != nil && s.cur.plan != nil && int(id) < len(s.cur.plan.Short) && s.cur.plan.Short[id]
+}
+
+// TensorFreed records profiling lifetimes during profiling steps. In the
+// managed phase it reclaims the dead tensor's fast-memory pages: freed
+// data needs no copy, so the pages are reassigned to slow memory at zero
+// cost, keeping fast memory circulating. Page-level baselines cannot do
+// this — the OS has no idea the page contents are dead; this is the
+// runtime/OS semantic gap Sentinel bridges.
+func (s *Sentinel) TensorFreed(t *tensor.Tensor, r alloc.Region) {
+	if s.profiling != nil {
+		s.profiling.TensorFreed(t, r)
+		return
+	}
+	if !s.managed() || s.short(t.ID) {
+		return // the pinned pool stays in fast memory by design
+	}
+	s.rt.Kernel().Relocate(r.Addr, r.Size, memsys.Slow, s.rt.Now())
+}
+
+// StepEnd finishes a profiling step by building the variant's plan, and
+// advances the test-and-trial state machine on managed steps.
+func (s *Sentinel) StepEnd(step int, st *metrics.StepStats) {
+	if s.profiling != nil {
+		s.finishProfiling(st)
+		return
+	}
+	if !s.cfg.TestAndTrial {
+		return
+	}
+	switch s.ttState {
+	case ttIdle:
+		if s.sawCase3 {
+			// Trial: next step waits, the one after does not.
+			s.ttState = ttTrialWait
+			s.waitMode = true
+		}
+	case ttTrialWait:
+		s.waitTime = st.Duration
+		s.ttSteps++
+		s.ttState = ttTrialNoWait
+		s.waitMode = false
+	case ttTrialNoWait:
+		s.ttSteps++
+		s.waitMode = s.waitTime < st.Duration
+		s.ttState = ttLocked
+	}
+}
+
+// finishProfiling assembles the variant's profile, builds its plan, and
+// reorganizes allocation (Sec. IV-B): the managed phase resumes with the
+// next step.
+func (s *Sentinel) finishProfiling(st *metrics.StepStats) {
+	s.cur.prof = s.profiling.Assemble(st)
+	s.profiling = nil
+	decomp := LayerDecomp{Compute: st.LayerComputeTime, Mem: st.LayerMemTime}
+	var plan *Plan
+	var err error
+	if s.cfg.VariableMIL && s.cfg.ForceMIL == 0 {
+		plan, err = BuildPlanVariable(s.cur.prof, s.rt.Spec(), decomp)
+	} else {
+		plan, err = BuildPlan(s.cur.prof, s.rt.Spec(), decomp, s.cfg.ForceMIL)
+	}
+	if err != nil {
+		// A profile with no layers cannot occur for validated graphs;
+		// degrade to one giant interval rather than crash mid-run.
+		plan = &Plan{MIL: 1, NumIntervals: 1, NumLayers: 1,
+			Starts: []int{0}, idxOf: []int{0},
+			NeedBytes: make([]int64, 1), Needs: make([][]tensor.ID, 1),
+			EvictAt: make([][]tensor.ID, 1), Short: make([]bool, len(s.cur.prof.Tensors))}
+	}
+	s.cur.plan = plan
+	s.cur.pendingReady = make([]simtime.Time, plan.NumIntervals)
+	s.cur.missing = make([]int64, plan.NumIntervals)
+	for k := range s.cur.missing {
+		s.cur.missing[k] = plan.NeedBytes[k] // everything starts in slow memory
+	}
+	s.rt.Kernel().ResetCounters()
+
+	cfg := alloc.Config{
+		Mode: alloc.Packed,
+		Tier: s.allocTier,
+	}
+	if s.cfg.CoAllocate {
+		cfg.Mode = alloc.Grouped
+		cfg.Group = func(t *tensor.Tensor) string {
+			if s.cur == nil || s.cur.plan == nil || s.cur.prof == nil {
+				return "unplanned"
+			}
+			return s.cur.plan.GroupKey(s.cur.prof, t)
+		}
+		// Pin the reserved pool only while it is a modest share of fast
+		// memory; at extreme batch sizes the pool is left unpinned so
+		// it can shrink under pressure (Sec. IV-C notes the space can
+		// be dynamically shrunk), which is what lets Sentinel reach
+		// Table V's large batches.
+		if s.cfg.ReserveShortPool && plan.Reserve <= s.rt.Spec().Fast.Size/4 {
+			cfg.Pin = func(group string) bool { return group == ShortPoolGroup }
+		}
+	}
+	s.rt.Alloc().Reconfigure(cfg)
+}
+
+// allocTier places new tensors: fast memory when there is room (they are
+// written immediately; eviction keeps space circulating), otherwise slow.
+func (s *Sentinel) allocTier(t *tensor.Tensor) memsys.Tier {
+	if s.rt.Kernel().Free(memsys.Fast) >= t.Size {
+		return memsys.Fast
+	}
+	return memsys.Slow
+}
+
+// MakeRoom implements exec.Evictor for GPU-like machines (and the CPU
+// large-allocation path): coldest long-lived tensors whose next access is
+// farthest leave first; below the Sec. IV-E lower bound, anything not
+// accessed in the current layer spills as a last resort.
+func (s *Sentinel) MakeRoom(rt *exec.Runtime, need int64) int64 {
+	if s.cur == nil || s.cur.prof == nil {
+		return 0
+	}
+	prof := s.cur.prof
+	type cand struct {
+		id   tensor.ID
+		next int
+	}
+	var cands []cand
+	for i := range prof.Tensors {
+		ts := &prof.Tensors[i]
+		if s.short(ts.ID) {
+			continue
+		}
+		if _, ok := rt.Alloc().Region(ts.ID); !ok {
+			continue
+		}
+		next := ts.NextAccessAfter(s.curLayer)
+		if next == -1 {
+			next = prof.NumLayers + ts.AllocLayer // wraps to next step
+		}
+		if next <= s.curLayer+1 {
+			continue // needed immediately
+		}
+		cands = append(cands, cand{id: ts.ID, next: next})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].next > cands[j].next })
+	var freed int64
+	for _, c := range cands {
+		if freed >= need {
+			break
+		}
+		_, moved, _ := rt.MigrateTensor(c.id, memsys.Slow)
+		freed += moved
+	}
+	if freed >= need {
+		return freed
+	}
+	// Last resort, below the fast-memory lower bound of Sec. IV-E:
+	// spill anything not accessed in the current layer, short-lived
+	// tensors included. This is exactly the regime the paper warns
+	// causes >20% loss — but it keeps extreme batch sizes trainable
+	// (Table V).
+	for i := range prof.Tensors {
+		if freed >= need {
+			break
+		}
+		ts := &prof.Tensors[i]
+		if _, ok := rt.Alloc().Region(ts.ID); !ok {
+			continue
+		}
+		accessedNow := false
+		for _, a := range ts.PerLayer {
+			if a.Layer == s.curLayer {
+				accessedNow = true
+				break
+			}
+		}
+		if accessedNow {
+			continue
+		}
+		_, moved, _ := rt.MigrateTensor(ts.ID, memsys.Slow)
+		freed += moved
+	}
+	return freed
+}

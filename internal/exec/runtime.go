@@ -1,0 +1,519 @@
+// Package exec is the discrete-event execution engine. It replays a
+// training-step graph against a simulated machine, charging each op a
+// roofline time (max of compute and memory components), overlapping
+// asynchronous page migration with execution, and invoking a Policy at the
+// hook points a real framework runtime would (allocation, op and layer
+// boundaries, step boundaries).
+//
+// The engine is strategy-free: Sentinel and every baseline are Policy
+// implementations layered on the same machine, kernel, and allocator.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/graph"
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// ErrOOM reports that fast memory could not hold the working set: on a
+// GPU-like machine an op's tensors must be resident and nothing more could
+// be evicted. The max-batch-size experiments probe for this error.
+var ErrOOM = errors.New("out of fast memory")
+
+// Runtime binds one graph, one machine, and one policy for a run.
+type Runtime struct {
+	g      *graph.Graph
+	spec   memsys.Spec
+	k      *kernel.Kernel
+	a      *alloc.Allocator
+	policy Policy
+
+	now        simtime.Time
+	st         *metrics.StepStats
+	traceWidth simtime.Duration
+	run        metrics.RunStats
+	// pinnedAccess lets GPU compute read host-resident pages in place
+	// (pinned/zero-copy memory) instead of requiring residency;
+	// Sentinel-GPU's profiling step runs in this mode (Sec. V).
+	pinnedAccess bool
+	// sink receives trace events when installed (WithEventSink).
+	sink     EventSink
+	curLayer int
+}
+
+// SetPinnedAccess toggles pinned (zero-copy) host access on a GPU-like
+// machine: while enabled, ops read slow-tier pages over the interconnect
+// instead of stalling for residency.
+func (rt *Runtime) SetPinnedAccess(on bool) { rt.pinnedAccess = on }
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithBWTrace enables bandwidth tracing with the given bucket width.
+func WithBWTrace(width simtime.Duration) Option {
+	return func(rt *Runtime) { rt.traceWidth = width }
+}
+
+// NewRuntime builds a runtime: kernel, policy-configured allocator,
+// preallocated tensors placed, and the policy set up.
+func NewRuntime(g *graph.Graph, spec memsys.Spec, p Policy, opts ...Option) (*Runtime, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		g:      g,
+		spec:   spec,
+		k:      k,
+		policy: p,
+		run:    metrics.RunStats{Policy: p.Name(), Model: g.Model, Batch: g.Batch},
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	rt.a = alloc.New(k, p.AllocConfig(g))
+	rt.a.SetClock(func() simtime.Time { return rt.now })
+	// Weights and inputs are allocated before the training loop.
+	for _, id := range g.Prealloc {
+		t := g.T(id)
+		if _, err := rt.a.Alloc(t); err != nil {
+			return nil, fmt.Errorf("%w: preallocating %s: %v", ErrOOM, t.Name, err)
+		}
+	}
+	if err := p.Setup(rt); err != nil {
+		return nil, err
+	}
+	for _, id := range g.Prealloc {
+		t := g.T(id)
+		if r, ok := rt.a.Region(id); ok {
+			p.TensorAllocated(t, r)
+		}
+	}
+	return rt, nil
+}
+
+// SetGraph swaps the workload between steps — the dynamic-shape and
+// control-dependency cases of Sec. IV-E, where the framework generates a
+// different dataflow per input bucket. The new graph must share the old
+// one's preallocated tensor layout (same ids, kinds, and sizes: parameters
+// are physically shared across variants), and all mid-step tensors must
+// have been freed (they are, between steps).
+func (rt *Runtime) SetGraph(g2 *graph.Graph) error {
+	if rt.st != nil {
+		return fmt.Errorf("exec: SetGraph mid-step")
+	}
+	if err := g2.Validate(); err != nil {
+		return err
+	}
+	if len(g2.Prealloc) != len(rt.g.Prealloc) {
+		return fmt.Errorf("exec: SetGraph: %d preallocated tensors, want %d", len(g2.Prealloc), len(rt.g.Prealloc))
+	}
+	for i, id := range g2.Prealloc {
+		old := rt.g.T(rt.g.Prealloc[i])
+		neu := g2.T(id)
+		if id != rt.g.Prealloc[i] || neu.Size != old.Size || neu.Kind != old.Kind {
+			return fmt.Errorf("exec: SetGraph: preallocated tensor %d mismatch (%s/%d vs %s/%d)",
+				i, neu.Name, neu.Size, old.Name, old.Size)
+		}
+	}
+	if live := rt.a.Live(); live != len(rt.g.Prealloc) {
+		return fmt.Errorf("exec: SetGraph with %d live mid-step tensors", live-len(rt.g.Prealloc))
+	}
+	rt.g = g2
+	rt.run.Model = g2.Model
+	return nil
+}
+
+// Accessors used by policies.
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() simtime.Time { return rt.now }
+
+// Graph returns the workload graph.
+func (rt *Runtime) Graph() *graph.Graph { return rt.g }
+
+// Spec returns the machine spec.
+func (rt *Runtime) Spec() memsys.Spec { return rt.spec }
+
+// Kernel returns the simulated OS layer.
+func (rt *Runtime) Kernel() *kernel.Kernel { return rt.k }
+
+// Alloc returns the allocator.
+func (rt *Runtime) Alloc() *alloc.Allocator { return rt.a }
+
+// Stats returns the statistics of the in-flight step (nil between steps).
+func (rt *Runtime) Stats() *metrics.StepStats { return rt.st }
+
+// Run returns the accumulated run statistics.
+func (rt *Runtime) Run() *metrics.RunStats { return &rt.run }
+
+// MigrateTensor asynchronously migrates the pages backing a tensor to dst,
+// returning the completion instant and bytes queued. Pages the tensor
+// shares with neighbours move too — page-level false sharing is real here.
+// The shortfall reports bytes that did not fit on dst.
+func (rt *Runtime) MigrateTensor(id tensor.ID, dst memsys.Tier) (done simtime.Time, moved, shortfall int64) {
+	r, ok := rt.a.Region(id)
+	if !ok {
+		return rt.now, 0, 0
+	}
+	return rt.MigrateRange(r.Addr, r.Size, dst)
+}
+
+// MigrateRange migrates an address range; see MigrateTensor.
+func (rt *Runtime) MigrateRange(addr, size int64, dst memsys.Tier) (done simtime.Time, moved, shortfall int64) {
+	done, moved, shortfall = rt.k.Migrate(addr, size, dst, rt.now)
+	rt.noteMigration(dst, moved)
+	return done, moved, shortfall
+}
+
+func (rt *Runtime) noteMigration(dst memsys.Tier, moved int64) {
+	if moved == 0 || rt.st == nil {
+		return
+	}
+	if dst == memsys.Fast {
+		rt.st.MigratedIn += moved
+		rt.emit(EvIn, "", -1, moved)
+	} else {
+		rt.st.MigratedOut += moved
+		rt.emit(EvOut, "", -1, moved)
+	}
+	if rt.st.Trace != nil {
+		rt.st.Trace.AddMigration(rt.now, moved)
+	}
+}
+
+// RelocateFresh reassigns the pages of a freshly allocated region to the
+// given tier without a transfer: new tensors carry no data, so placement
+// is a page-table operation, not a copy. (Boundary pages shared with live
+// group neighbours move with it; co-allocation groups tensors of the same
+// lifetime class, keeping that approximation small.) Returns bytes moved.
+func (rt *Runtime) RelocateFresh(r alloc.Region, tier memsys.Tier) int64 {
+	moved, _ := rt.k.Relocate(r.Addr, r.Size, tier, rt.now)
+	return moved
+}
+
+// WaitUntil stalls execution until instant t (no-op if already past),
+// charging the wait to exposed migration time. Sentinel's Case-3
+// "continue migration" choice and GPU layer synchronization use this.
+func (rt *Runtime) WaitUntil(t simtime.Time) {
+	if t <= rt.now {
+		return
+	}
+	if rt.st != nil {
+		rt.st.StallTime += t.Sub(rt.now)
+		rt.emit(EvStall, "", -1, int64(t.Sub(rt.now)))
+	}
+	rt.now = t
+}
+
+// RunStep executes one training step and returns its statistics.
+func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
+	step := len(rt.run.Steps)
+	st := &metrics.StepStats{
+		Step:             step,
+		LayerTime:        make([]simtime.Duration, rt.g.NumLayers),
+		LayerComputeTime: make([]simtime.Duration, rt.g.NumLayers),
+		LayerMemTime:     make([]simtime.Duration, rt.g.NumLayers),
+	}
+	if rt.traceWidth > 0 {
+		st.Trace = memsys.NewBWTrace(rt.traceWidth)
+	}
+	rt.st = st
+	stepStart := rt.now
+	rt.emit(EvStep, "", -1, 0)
+	rt.policy.StepStart(step)
+	curLayer := -1
+	layerStart := rt.now
+	closeLayer := func() {
+		if curLayer >= 0 {
+			rt.policy.LayerEnd(curLayer)
+			st.LayerTime[curLayer] += rt.now.Sub(layerStart)
+		}
+	}
+	for i := range rt.g.Ops {
+		op := &rt.g.Ops[i]
+		if op.Layer != curLayer {
+			closeLayer()
+			curLayer = op.Layer
+			rt.curLayer = curLayer
+			rt.emit(EvLayer, "", -1, 0)
+			rt.policy.LayerStart(curLayer)
+			layerStart = rt.now
+		}
+		if err := rt.execOp(i, op); err != nil {
+			rt.st = nil
+			return nil, fmt.Errorf("step %d, op %d (%s): %w", step, i, op.Name, err)
+		}
+	}
+	closeLayer()
+	st.Duration = rt.now.Sub(stepStart)
+	rt.policy.StepEnd(step, st)
+	// StepEnd may stall (e.g. draining migrations); fold that in.
+	st.Duration = rt.now.Sub(stepStart)
+	rt.st = nil
+	rt.run.Steps = append(rt.run.Steps, st)
+	return st, nil
+}
+
+// RunSteps executes n steps and returns the run statistics. Policies warm
+// up over the first steps (profiling, test-and-trial); callers read
+// steady-state numbers from the last step.
+func (rt *Runtime) RunSteps(n int) (*metrics.RunStats, error) {
+	for i := 0; i < n; i++ {
+		if _, err := rt.RunStep(); err != nil {
+			return nil, err
+		}
+	}
+	return &rt.run, nil
+}
+
+// RunUntilSteady executes steps until two consecutive step times agree
+// within tol (e.g. 0.01 for 1%), or maxSteps is reached. It returns the
+// run statistics and whether steady state was detected — convenient when a
+// policy's warm-up length is unknown (profiling, test-and-trial, variant
+// discovery).
+func (rt *Runtime) RunUntilSteady(tol float64, maxSteps int) (*metrics.RunStats, bool, error) {
+	if maxSteps <= 0 {
+		maxSteps = 32
+	}
+	var prev simtime.Duration
+	for i := 0; i < maxSteps; i++ {
+		st, err := rt.RunStep()
+		if err != nil {
+			return nil, false, err
+		}
+		if i > 0 && prev > 0 {
+			diff := float64(st.Duration-prev) / float64(prev)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= tol {
+				return &rt.run, true, nil
+			}
+		}
+		prev = st.Duration
+	}
+	return &rt.run, false, nil
+}
+
+func (rt *Runtime) execOp(i int, op *graph.Op) error {
+	st := rt.st
+	// Allocate outputs and scratch.
+	for _, id := range op.Allocs {
+		t := rt.g.T(id)
+		if rt.spec.GPULike {
+			rt.makeRoomFor(t.Size)
+		}
+		r, err := rt.a.Alloc(t)
+		if err != nil {
+			return fmt.Errorf("%w: allocating %s (%s)", ErrOOM, t.Name, simtime.Bytes(t.Size))
+		}
+		rt.emit(EvAlloc, t.Name, t.ID, t.Size)
+		rt.policy.TensorAllocated(t, r)
+	}
+	rt.policy.OpStart(i, op)
+
+	if m := rt.k.MappedBytes(); m > st.PeakMapped {
+		st.PeakMapped = m
+	}
+	if f := rt.k.Used(memsys.Fast); f > st.PeakFastUsed {
+		st.PeakFastUsed = f
+	}
+
+	start := rt.now
+	if rt.spec.GPULike && !rt.pinnedAccess {
+		s, err := rt.ensureResident(op)
+		if err != nil {
+			return err
+		}
+		st.StallTime += s.Sub(rt.now)
+		start = s
+	}
+
+	computeT := simtime.FromSeconds(op.FLOPs / rt.spec.ComputeRate)
+	var memT simtime.Duration
+	var faults int64
+	for _, ac := range op.Accesses {
+		t := rt.g.T(ac.Tensor)
+		r, ok := rt.a.Region(ac.Tensor)
+		if !ok {
+			return fmt.Errorf("op accesses unallocated tensor %s", t.Name)
+		}
+		readBytes := t.Size * int64(ac.Reads)
+		writeBytes := t.Size * int64(ac.Writes)
+		var sp AccessSplit
+		if am, isAM := rt.policy.(AccessModeler); isAM {
+			sp = am.ModelAccess(t, r, readBytes, writeBytes, start)
+		} else {
+			fastFrac := rt.fastFraction(r, start)
+			sp = AccessSplit{
+				FastRead:  int64(fastFrac * float64(readBytes)),
+				FastWrite: int64(fastFrac * float64(writeBytes)),
+			}
+			sp.SlowRead = readBytes - sp.FastRead
+			sp.SlowWrite = writeBytes - sp.FastWrite
+		}
+		memT += simtime.TransferTime(sp.FastRead, rt.spec.Fast.ReadBW) +
+			simtime.TransferTime(sp.FastWrite, rt.spec.Fast.WriteBW) +
+			simtime.TransferTime(sp.SlowRead, rt.spec.Slow.ReadBW) +
+			simtime.TransferTime(sp.SlowWrite, rt.spec.Slow.WriteBW) +
+			sp.Extra
+		// Each main-memory access pays the latency of the tier that
+		// serves most of its bytes; for small tensors this dominates.
+		accesses := ac.Reads + ac.Writes
+		if sp.FastRead+sp.FastWrite >= sp.SlowRead+sp.SlowWrite {
+			memT += simtime.Duration(accesses) * rt.spec.Fast.Latency
+		} else {
+			memT += simtime.Duration(accesses) * rt.spec.Slow.Latency
+		}
+		faults += rt.k.Touch(r.Addr, r.Size, accesses, ac.Writes > 0, start)
+		st.FastBytes += sp.FastRead + sp.FastWrite
+		st.SlowBytes += sp.SlowRead + sp.SlowWrite
+		if st.Trace != nil {
+			st.Trace.AddAccess(start, memsys.Fast, sp.FastRead+sp.FastWrite)
+			st.Trace.AddAccess(start, memsys.Slow, sp.SlowRead+sp.SlowWrite)
+		}
+	}
+	faultT := simtime.Duration(faults) * rt.spec.FaultCost
+	// Imperfect roofline: the smaller component only partially hides
+	// under the larger one.
+	lo, hi := computeT, memT
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	dur := hi + simtime.FromSeconds((1-rt.spec.OverlapFactor)*lo.Seconds())
+	dur += faultT
+	st.ComputeTime += computeT
+	st.MemTime += memT
+	st.FaultTime += faultT
+	st.Faults += faults
+	st.LayerComputeTime[op.Layer] += computeT
+	st.LayerMemTime[op.Layer] += memT
+	rt.now = start.Add(dur)
+
+	for _, id := range op.Frees {
+		t := rt.g.T(id)
+		r, _ := rt.a.Region(id)
+		if err := rt.a.Free(t); err != nil {
+			return err
+		}
+		rt.emit(EvFree, t.Name, t.ID, t.Size)
+		rt.policy.TensorFreed(t, r)
+	}
+	rt.policy.OpEnd(i, op)
+	return nil
+}
+
+// fastFraction returns the fraction of a region resident on fast memory.
+func (rt *Runtime) fastFraction(r alloc.Region, at simtime.Time) float64 {
+	fast, slow := rt.k.TierBytes(r.Addr, r.Size, at)
+	total := fast + slow
+	if total <= 0 {
+		return 0
+	}
+	return float64(fast) / float64(total)
+}
+
+// makeRoomFor frees fast-tier space for n more bytes: first by reclaiming
+// dead allocator chunks (framework allocators return cached regions under
+// pressure), then by asking the policy's evictor. Best-effort: allocation
+// falls back or fails on its own if neither helps.
+func (rt *Runtime) makeRoomFor(n int64) {
+	free := rt.k.Free(memsys.Fast)
+	if free >= n {
+		return
+	}
+	rt.a.Reclaim(memsys.Fast, n-free)
+	free = rt.k.Free(memsys.Fast)
+	if free >= n {
+		return
+	}
+	if ev, ok := rt.policy.(Evictor); ok {
+		ev.MakeRoom(rt, n-free)
+	}
+}
+
+// ensureResident makes every page an op touches resident on fast memory
+// (GPU global memory) and returns the instant the op can start. Pending
+// prefetches are waited for; unscheduled pages are demand-migrated;
+// recomputable tensors (Capuchin) are regenerated in place.
+func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
+	start := rt.now
+	st := rt.st
+	for _, ac := range op.Accesses {
+		r, ok := rt.a.Region(ac.Tensor)
+		if !ok {
+			return 0, fmt.Errorf("residency check on unallocated tensor %d", ac.Tensor)
+		}
+		first, last := r.Pages()
+		ready, resident := rt.k.ResidentFastBy(first, last, rt.now)
+		if resident {
+			if ready > start {
+				start = ready
+			}
+			continue
+		}
+		t := rt.g.T(ac.Tensor)
+		if rc, isRC := rt.policy.(Recomputer); isRC {
+			if d, yes := rc.Recompute(t); yes {
+				moved, short := rt.k.Relocate(r.Addr, r.Size, memsys.Fast, rt.now)
+				if short > 0 {
+					rt.makeRoomFor(short)
+					_, short = rt.k.Relocate(r.Addr, r.Size, memsys.Fast, rt.now)
+				}
+				if short > 0 {
+					return 0, fmt.Errorf("%w: recomputing %s", ErrOOM, t.Name)
+				}
+				_ = moved
+				st.RecomputeTime += d
+				start = start.Add(d)
+				continue
+			}
+		}
+		need := rt.k.MigrateStats(r.Addr, r.Size, memsys.Fast, rt.now)
+		// Eviction under churn is approximate; retry a few times
+		// before declaring the device out of memory.
+		for attempt := 0; attempt < 3; attempt++ {
+			free := rt.k.Free(memsys.Fast)
+			if free >= need {
+				break
+			}
+			rt.makeRoomFor(need)
+		}
+		done, moved, short := rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
+		if short > 0 {
+			// Much of fast memory may be tied up in in-flight
+			// transfers that eviction cannot touch; block until the
+			// migration channels drain (the real runtime waits on its
+			// helper threads), make room again, and retry once before
+			// declaring out-of-memory.
+			settle := simtime.Max(rt.k.InChannel().BusyUntil(), rt.k.OutChannel().BusyUntil())
+			rt.WaitUntil(settle.Add(simtime.Microsecond))
+			rt.makeRoomFor(need)
+			done, moved, short = rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
+		}
+		if short > 0 {
+			return 0, fmt.Errorf("%w: demand-migrating %s (%s short; fast used %s free %s, %d live allocs in %d arenas)",
+				ErrOOM, t.Name, simtime.Bytes(short), simtime.Bytes(rt.k.Used(memsys.Fast)),
+				simtime.Bytes(rt.k.Free(memsys.Fast)), rt.a.Live(), rt.a.ArenaCount())
+		}
+		rt.noteMigration(memsys.Fast, moved)
+		rt.emit(EvDemand, t.Name, t.ID, moved)
+		st.DemandMigrations++
+		done = done.Add(rt.spec.DemandFaultCost)
+		if done > start {
+			start = done
+		}
+	}
+	return start, nil
+}

@@ -1,0 +1,80 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// EventKind classifies runtime trace events.
+type EventKind string
+
+// Event kinds emitted by the engine.
+const (
+	EvAlloc   EventKind = "alloc"
+	EvFree    EventKind = "free"
+	EvIn      EventKind = "migrate-in"
+	EvOut     EventKind = "migrate-out"
+	EvDemand  EventKind = "demand"
+	EvStall   EventKind = "stall"
+	EvLayer   EventKind = "layer"
+	EvStep    EventKind = "step"
+	EvOOMNear EventKind = "oom-retry"
+)
+
+// Event is one runtime trace record.
+type Event struct {
+	At     simtime.Time
+	Kind   EventKind
+	Step   int
+	Layer  int
+	Tensor tensor.ID
+	Name   string
+	Bytes  int64
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	t := simtime.Duration(e.At)
+	switch e.Kind {
+	case EvLayer:
+		return fmt.Sprintf("%12v step=%d layer=%d", t, e.Step, e.Layer)
+	case EvStep:
+		return fmt.Sprintf("%12v step=%d begins", t, e.Step)
+	case EvStall:
+		return fmt.Sprintf("%12v step=%d layer=%d stall %v", t, e.Step, e.Layer, simtime.Duration(e.Bytes))
+	default:
+		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, e.Name, simtime.Bytes(e.Bytes))
+	}
+}
+
+// EventSink receives engine trace events.
+type EventSink func(Event)
+
+// WithEventSink installs a trace sink on the runtime.
+func WithEventSink(sink EventSink) Option {
+	return func(rt *Runtime) { rt.sink = sink }
+}
+
+// WriteEvents returns a sink that writes one line per event.
+func WriteEvents(w io.Writer) EventSink {
+	return func(e Event) { fmt.Fprintln(w, e) }
+}
+
+// emit sends an event to the sink if one is installed.
+func (rt *Runtime) emit(kind EventKind, name string, id tensor.ID, bytes int64) {
+	if rt.sink == nil {
+		return
+	}
+	step, layer := -1, -1
+	if rt.st != nil {
+		step = rt.st.Step
+		layer = rt.curLayer
+	}
+	rt.sink(Event{
+		At: rt.now, Kind: kind, Step: step, Layer: layer,
+		Tensor: id, Name: name, Bytes: bytes,
+	})
+}

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func runs one experiment.
+type Func func(Options) (*Table, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]Func{
+	"characterization": Characterization,
+	"table1":           Table1,
+	"table2":           Table2,
+	"fig5":             Fig5,
+	"fig7":             Fig7,
+	"fig8":             Fig8,
+	"fig9":             Fig9,
+	"fig10":            Fig10,
+	"fig11":            Fig11,
+	"fig12":            Fig12,
+	"fig13":            Fig13,
+	"fig9series":       Fig9Series,
+	"fig12-a100":       Fig12A100,
+	"fig7-extended":    Fig7Extended,
+	"fig7-cxl":         Fig7CXL,
+	"table3":           Table3,
+	"table4":           Table4,
+	"table5":           Table5,
+}
+
+// order is the presentation order for "all".
+var order = []string{
+	"table1", "table2", "characterization", "fig5", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "table3", "table4", "fig12", "fig13", "table5",
+}
+
+// extras are runnable but not part of "all" (raw data dumps).
+var extras = map[string]bool{
+	"fig9series": true, "fig12-a100": true, "fig7-extended": true, "fig7-cxl": true,
+}
+
+// Run executes the named experiment.
+func Run(id string, o Options) (*Table, error) {
+	f, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
+	}
+	return f(o)
+}
+
+// IDs lists experiment ids in presentation order. Raw-dump experiments
+// (extras) come last.
+func IDs() []string {
+	ids := append([]string{}, order...)
+	// Include anything registered but not ordered, sorted, so nothing is
+	// silently unreachable.
+	extra := []string{}
+	inOrder := map[string]bool{}
+	for _, id := range order {
+		inOrder[id] = true
+	}
+	for id := range registry {
+		if !inOrder[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	return append(ids, extra...)
+}
+
+// DefaultIDs lists the experiments run by "all" (no raw dumps).
+func DefaultIDs() []string {
+	var ids []string
+	for _, id := range IDs() {
+		if !extras[id] {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}

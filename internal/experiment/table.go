@@ -1,0 +1,142 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (Sec. VII) against the simulated platforms: one runner per
+// experiment, each returning a text table with the same rows/series the
+// paper reports. Absolute numbers differ from the authors' testbed — the
+// substrate is a simulator — but the shapes (who wins, by what factor,
+// where crossovers fall) are the reproduction target.
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/model"
+	"sentinel/internal/policyset"
+	"sentinel/internal/simtime"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Steps per run; the last step is the steady-state measurement.
+	Steps int
+	// Quick trims sweeps (fewer points, smaller searches) for CI use.
+	Quick bool
+}
+
+// DefaultOptions returns the full-fidelity settings.
+func DefaultOptions() Options { return Options{Steps: 5} }
+
+func (o Options) steps() int {
+	if o.Steps <= 0 {
+		return 5
+	}
+	return o.Steps
+}
+
+// runOne executes one (model, batch, policy, fast-size) configuration and
+// returns its run stats.
+func runOne(modelName string, batch int, spec memsys.Spec, policy string, steps int, opts ...exec.Option) (*metrics.RunStats, error) {
+	g, err := model.Build(modelName, batch)
+	if err != nil {
+		return nil, err
+	}
+	return policyset.Run(g, spec, policy, steps, opts...)
+}
+
+// fastSized returns the Optane spec with fast memory set to pct% of the
+// model's peak memory.
+func fastSized(modelName string, batch int, pct float64) (memsys.Spec, int64, error) {
+	g, err := model.Build(modelName, batch)
+	if err != nil {
+		return memsys.Spec{}, 0, err
+	}
+	peak := g.PeakMemory()
+	return memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak))), peak, nil
+}
+
+// speedup formats a/b as "1.23x".
+func speedup(base, x simtime.Duration) string {
+	if x <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", float64(base)/float64(x))
+}
+
+// pctOf formats x as a percentage of base.
+func pctOf(x, base simtime.Duration) string {
+	if base <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(base))
+}
+
+// graph import anchor for helpers below.
+var _ *graph.Graph

@@ -1,0 +1,148 @@
+package experiment
+
+import (
+	"fmt"
+
+	"sentinel/internal/exec"
+	"sentinel/internal/gpu"
+	"sentinel/internal/memsys"
+	"sentinel/internal/model"
+	"sentinel/internal/policyset"
+	"sentinel/internal/profile"
+	"sentinel/internal/simtime"
+)
+
+// Check is one validated claim from the paper.
+type Check struct {
+	Name   string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// Validate runs the reproduction's shape checks: each is a claim from the
+// paper that must hold in this simulation (with the tolerances documented
+// in EXPERIMENTS.md). Used by cmd/sentinel-validate as a one-command
+// self-check.
+func Validate(o Options) ([]Check, error) {
+	var checks []Check
+	add := func(name, claim string, pass bool, format string, args ...any) {
+		checks = append(checks, Check{
+			Name: name, Claim: claim, Pass: pass, Detail: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// Observation 1 & 3 — tensor population and false sharing.
+	g, err := model.Build("resnet32", 128)
+	if err != nil {
+		return nil, err
+	}
+	c, err := profile.Characterize(g, memsys.OptaneHM())
+	if err != nil {
+		return nil, err
+	}
+	add("obs1-short-lived", "most tensors are short-lived and sub-page",
+		c.ShortLivedFraction() >= 0.75 && c.SmallFraction() >= 0.80,
+		"%.0f%% short-lived, %.0f%% of those sub-page", 100*c.ShortLivedFraction(), 100*c.SmallFraction())
+	add("obs2-hot-set", "the hot set is tiny relative to cold bytes",
+		c.TensorBytes[profile.BucketHot] < c.TensorBytes[profile.BucketCold]/10,
+		"hot %s vs cold %s", simtime.Bytes(c.TensorBytes[profile.BucketHot]), simtime.Bytes(c.TensorBytes[profile.BucketCold]))
+	add("obs3-false-sharing", "page-level profiling misattributes cold bytes",
+		c.FalseSharingBytes > 0,
+		"%s misattributed", simtime.Bytes(c.FalseSharingBytes))
+
+	// Fig. 7 — CPU ordering and the fast-only gap.
+	spec, peak, err := fastSized("resnet32", 128, fastPct)
+	if err != nil {
+		return nil, err
+	}
+	times := map[string]simtime.Duration{}
+	for _, p := range []string{"slow-only", "ial", "autotm", "memory-mode", "first-touch", "sentinel"} {
+		run, err := runOne("resnet32", 128, spec, p, o.steps())
+		if err != nil {
+			return nil, err
+		}
+		times[p] = run.SteadyStepTime()
+	}
+	fastRun, err := runOne("resnet32", 128, memsys.OptaneHM().WithFastSize(2*peak), "fast-only", 2)
+	if err != nil {
+		return nil, err
+	}
+	fast := fastRun.SteadyStepTime()
+	add("fig7-ordering", "sentinel > autotm > memory-mode > ial > first-touch > slow-only",
+		times["sentinel"] < times["autotm"] &&
+			times["autotm"] < times["memory-mode"] &&
+			times["memory-mode"] < times["ial"] &&
+			times["ial"] < times["first-touch"] &&
+			times["first-touch"] < times["slow-only"],
+		"sentinel %v, autotm %v, memory-mode %v, ial %v, first-touch %v, slow %v",
+		times["sentinel"], times["autotm"], times["memory-mode"], times["ial"], times["first-touch"], times["slow-only"])
+	gap := float64(times["sentinel"])/float64(fast) - 1
+	add("fig7-gap", "sentinel at 20% fast stays near fast-only",
+		gap < 0.35, "gap %.1f%% (paper: 9%% mean; documented tolerance 35%% per-model)", 100*gap)
+
+	// Table III — overhead accounting via a fresh Sentinel run.
+	profRun, err := runOne("resnet32", 128, spec, "sentinel", 3)
+	if err != nil {
+		return nil, err
+	}
+	slowdown := float64(profRun.Steps[0].Duration) / float64(profRun.SteadyStepTime())
+	add("table3-profiling-cost", "the profiled step is at most ~5x a normal step",
+		slowdown > 1.1 && slowdown < 6.5, "%.1fx", slowdown)
+
+	// GPU shape checks at an over-capacity batch.
+	gspec := memsys.GPUHM()
+	gtimes := map[string]*struct {
+		dur   simtime.Duration
+		stall simtime.Duration
+	}{}
+	for _, p := range []string{"um", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"} {
+		run, err := runOne("resnet200", 128, gspec, p, o.steps())
+		if err != nil {
+			return nil, err
+		}
+		st := run.SteadyStep()
+		gtimes[p] = &struct {
+			dur   simtime.Duration
+			stall simtime.Duration
+		}{st.Duration, st.StallTime}
+	}
+	add("fig12-ordering", "sentinel-gpu is the fastest GPU policy at over-capacity batches",
+		gtimes["sentinel-gpu"].dur < gtimes["um"].dur &&
+			gtimes["sentinel-gpu"].dur < gtimes["autotm"].dur &&
+			gtimes["sentinel-gpu"].dur < gtimes["swapadvisor"].dur &&
+			gtimes["sentinel-gpu"].dur < gtimes["capuchin"].dur,
+		"sentinel %v vs um %v autotm %v swapadvisor %v capuchin %v",
+		gtimes["sentinel-gpu"].dur, gtimes["um"].dur, gtimes["autotm"].dur,
+		gtimes["swapadvisor"].dur, gtimes["capuchin"].dur)
+	add("fig13-exposure", "sentinel-gpu exposes the least migration",
+		gtimes["sentinel-gpu"].stall < gtimes["autotm"].stall &&
+			gtimes["sentinel-gpu"].stall < gtimes["swapadvisor"].stall,
+		"sentinel %v vs autotm %v swapadvisor %v",
+		gtimes["sentinel-gpu"].stall, gtimes["autotm"].stall, gtimes["swapadvisor"].stall)
+
+	// Table V — max batch over plain TensorFlow.
+	limit := 1 << 10
+	tfMax, err := gpu.MaxBatch("resnet200", gspec, mustPolicy("fast-only"), limit)
+	if err != nil {
+		return nil, err
+	}
+	sMax, err := gpu.MaxBatch("resnet200", gspec, mustPolicy("sentinel-gpu"), limit)
+	if err != nil {
+		return nil, err
+	}
+	add("table5-batch", "sentinel-gpu trains much larger batches than plain TF",
+		sMax >= 2*tfMax, "sentinel %d vs tf %d", sMax, tfMax)
+
+	return checks, nil
+}
+
+func mustPolicy(name string) func() exec.Policy {
+	return func() exec.Policy {
+		p, err := policyset.New(name)
+		if err != nil {
+			panic(err) // names above are registry constants
+		}
+		return p
+	}
+}

@@ -1,0 +1,108 @@
+// Package ga is a compact genetic algorithm used by the SwapAdvisor
+// baseline, which searches the joint space of memory allocation and swap
+// scheduling with a GA [8]. Genomes are integer vectors with per-gene
+// domains; the population evolves by tournament selection, uniform
+// crossover, and per-gene mutation. Deterministic for a given seed.
+package ga
+
+import "math/rand"
+
+// Genome is one candidate solution: gene i takes values in [0, domain[i]).
+type Genome []int
+
+// Config tunes the search.
+type Config struct {
+	Pop        int     // population size
+	Gens       int     // generations
+	MutRate    float64 // per-gene mutation probability
+	Tournament int     // tournament size for selection
+	Seed       int64
+}
+
+// DefaultConfig mirrors SwapAdvisor's published settings scaled to
+// simulation time: the real system caps its search at ~30 minutes, which
+// the paper shows is not enough to converge for large models; the budget
+// here is correspondingly tight.
+func DefaultConfig() Config {
+	return Config{Pop: 16, Gens: 10, MutRate: 0.05, Tournament: 3, Seed: 1}
+}
+
+// Minimize evolves genomes toward lower cost. domain[i] is the exclusive
+// upper bound of gene i. Returns the best genome and its cost.
+func Minimize(domain []int, cost func(Genome) float64, cfg Config) (Genome, float64) {
+	if cfg.Pop <= 0 || cfg.Gens <= 0 || len(domain) == 0 {
+		g := make(Genome, len(domain))
+		return g, cost(g)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	newGenome := func() Genome {
+		g := make(Genome, len(domain))
+		for i, d := range domain {
+			if d > 1 {
+				g[i] = rng.Intn(d)
+			}
+		}
+		return g
+	}
+
+	pop := make([]Genome, cfg.Pop)
+	costs := make([]float64, cfg.Pop)
+	for i := range pop {
+		pop[i] = newGenome()
+		costs[i] = cost(pop[i])
+	}
+	bestIdx := argmin(costs)
+	best := append(Genome(nil), pop[bestIdx]...)
+	bestCost := costs[bestIdx]
+
+	pick := func() Genome {
+		bi := rng.Intn(cfg.Pop)
+		for t := 1; t < cfg.Tournament; t++ {
+			c := rng.Intn(cfg.Pop)
+			if costs[c] < costs[bi] {
+				bi = c
+			}
+		}
+		return pop[bi]
+	}
+
+	for gen := 0; gen < cfg.Gens; gen++ {
+		next := make([]Genome, cfg.Pop)
+		nextCosts := make([]float64, cfg.Pop)
+		// Elitism: carry the best forward.
+		next[0] = append(Genome(nil), best...)
+		nextCosts[0] = bestCost
+		for i := 1; i < cfg.Pop; i++ {
+			a, b := pick(), pick()
+			child := make(Genome, len(domain))
+			for gi := range child {
+				if rng.Intn(2) == 0 {
+					child[gi] = a[gi]
+				} else {
+					child[gi] = b[gi]
+				}
+				if domain[gi] > 1 && rng.Float64() < cfg.MutRate {
+					child[gi] = rng.Intn(domain[gi])
+				}
+			}
+			next[i] = child
+			nextCosts[i] = cost(child)
+		}
+		pop, costs = next, nextCosts
+		if bi := argmin(costs); costs[bi] < bestCost {
+			bestCost = costs[bi]
+			best = append(Genome(nil), pop[bi]...)
+		}
+	}
+	return best, bestCost
+}
+
+func argmin(xs []float64) int {
+	bi := 0
+	for i, x := range xs {
+		if x < xs[bi] {
+			bi = i
+		}
+	}
+	return bi
+}

@@ -1,0 +1,85 @@
+package ga
+
+import "testing"
+
+func TestMinimizeConvergesOnSeparable(t *testing.T) {
+	// Cost is minimized when every gene equals its index mod domain.
+	domain := make([]int, 12)
+	for i := range domain {
+		domain[i] = 4
+	}
+	target := func(i int) int { return i % 4 }
+	cost := func(g Genome) float64 {
+		var c float64
+		for i, v := range g {
+			if v != target(i) {
+				c++
+			}
+		}
+		return c
+	}
+	cfg := Config{Pop: 40, Gens: 120, MutRate: 0.05, Tournament: 3, Seed: 42}
+	best, bestCost := Minimize(domain, cost, cfg)
+	if bestCost > 2 {
+		t.Fatalf("GA did not converge: cost %v, genome %v", bestCost, best)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	domain := []int{8, 8, 8, 8}
+	cost := func(g Genome) float64 {
+		var c float64
+		for _, v := range g {
+			c += float64(v * v)
+		}
+		return c
+	}
+	cfg := DefaultConfig()
+	g1, c1 := Minimize(domain, cost, cfg)
+	g2, c2 := Minimize(domain, cost, cfg)
+	if c1 != c2 {
+		t.Fatalf("non-deterministic costs: %v vs %v", c1, c2)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("non-deterministic genomes")
+		}
+	}
+}
+
+func TestMinimizeImprovesOverRandom(t *testing.T) {
+	domain := make([]int, 20)
+	for i := range domain {
+		domain[i] = 10
+	}
+	cost := func(g Genome) float64 {
+		var c float64
+		for _, v := range g {
+			c += float64(v)
+		}
+		return c
+	}
+	_, best := Minimize(domain, cost, DefaultConfig())
+	// Random expectation is 20*4.5 = 90; the GA must do much better.
+	if best > 60 {
+		t.Fatalf("GA barely improved: %v", best)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// Empty domain.
+	g, c := Minimize(nil, func(Genome) float64 { return 7 }, DefaultConfig())
+	if len(g) != 0 || c != 7 {
+		t.Fatal("empty domain mishandled")
+	}
+	// Zero budget falls back to evaluating the zero genome.
+	g, _ = Minimize([]int{3}, func(g Genome) float64 { return float64(g[0]) }, Config{})
+	if len(g) != 1 {
+		t.Fatal("zero-budget genome wrong size")
+	}
+	// Domain of 1: only one possible value.
+	g, c = Minimize([]int{1, 1}, func(g Genome) float64 { return float64(g[0] + g[1]) }, DefaultConfig())
+	if c != 0 {
+		t.Fatalf("single-value domain cost %v", c)
+	}
+}

@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"fmt"
+
+	"sentinel/internal/tensor"
+)
+
+// Builder constructs a Graph incrementally, the way a framework runtime
+// observes a step: ops execute in order, allocating outputs and scratch,
+// and tensors are freed after their last consumer. The builder derives each
+// tensor's lifetime and per-layer access counts from the op stream, so
+// tensor metadata is consistent with the schedule by construction.
+type Builder struct {
+	g        *Graph
+	curLayer int
+	inLayer  bool
+	// ops are accumulated as pointers so OpBuilder handles stay valid
+	// while later ops are appended; Build copies them into the graph.
+	ops []*Op
+	err error
+}
+
+// NewBuilder starts a graph for the given model and batch size.
+func NewBuilder(model string, batch int) *Builder {
+	return &Builder{
+		g:        &Graph{Model: model, Batch: batch},
+		curLayer: -1,
+	}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("graph builder %s: %s", b.g.Model, fmt.Sprintf(format, args...))
+	}
+}
+
+// Prealloc registers a tensor allocated before the training loop (weights,
+// inputs). Must be called before the first layer.
+func (b *Builder) Prealloc(name string, kind tensor.Kind, size int64) tensor.ID {
+	if b.curLayer >= 0 {
+		b.fail("Prealloc(%s) after first layer", name)
+	}
+	id := tensor.ID(len(b.g.Tensors))
+	b.g.Tensors = append(b.g.Tensors, &tensor.Tensor{
+		ID: id, Name: name, Kind: kind, Size: size,
+		AllocLayer: 0, FreeLayer: 0, Preallocated: true,
+	})
+	b.g.Prealloc = append(b.g.Prealloc, id)
+	return id
+}
+
+// BeginLayer opens the next layer; corresponds to the region between two
+// add_layer() annotations in the instrumented model.
+func (b *Builder) BeginLayer() int {
+	if b.inLayer {
+		b.fail("BeginLayer inside a layer")
+	}
+	b.curLayer++
+	b.inLayer = true
+	return b.curLayer
+}
+
+// EndLayer closes the current layer.
+func (b *Builder) EndLayer() {
+	if !b.inLayer {
+		b.fail("EndLayer outside a layer")
+	}
+	b.inLayer = false
+}
+
+// OpBuilder accumulates one op's accesses.
+type OpBuilder struct {
+	b  *Builder
+	op *Op
+}
+
+// Op appends an operation to the current layer.
+func (b *Builder) Op(name string, flops float64) *OpBuilder {
+	if !b.inLayer {
+		b.fail("Op(%s) outside a layer", name)
+		// Keep going with a detached op so callers can chain safely;
+		// Build will return the error.
+		return &OpBuilder{b: b, op: &Op{Name: name, Layer: 0, FLOPs: flops}}
+	}
+	op := &Op{Name: name, Layer: b.curLayer, FLOPs: flops}
+	b.ops = append(b.ops, op)
+	return &OpBuilder{b: b, op: op}
+}
+
+// Alloc creates a tensor whose lifetime begins at this op.
+func (ob *OpBuilder) Alloc(name string, kind tensor.Kind, size int64) tensor.ID {
+	id := tensor.ID(len(ob.b.g.Tensors))
+	ob.b.g.Tensors = append(ob.b.g.Tensors, &tensor.Tensor{
+		ID: id, Name: name, Kind: kind, Size: size,
+		AllocLayer: ob.op.Layer, FreeLayer: ob.op.Layer,
+	})
+	ob.op.Allocs = append(ob.op.Allocs, id)
+	return id
+}
+
+func (ob *OpBuilder) access(id tensor.ID, reads, writes int) *OpBuilder {
+	if int(id) >= len(ob.b.g.Tensors) {
+		ob.b.fail("op %s: access to unknown tensor %d", ob.op.Name, id)
+		return ob
+	}
+	for i := range ob.op.Accesses {
+		if ob.op.Accesses[i].Tensor == id {
+			ob.op.Accesses[i].Reads += reads
+			ob.op.Accesses[i].Writes += writes
+			return ob
+		}
+	}
+	ob.op.Accesses = append(ob.op.Accesses, Access{Tensor: id, Reads: reads, Writes: writes})
+	return ob
+}
+
+// Read records n main-memory reads of the tensor by this op.
+func (ob *OpBuilder) Read(id tensor.ID, n int) *OpBuilder { return ob.access(id, n, 0) }
+
+// Write records n main-memory writes of the tensor by this op.
+func (ob *OpBuilder) Write(id tensor.ID, n int) *OpBuilder { return ob.access(id, 0, n) }
+
+// Scratch allocates a temporary written once and read `reads` times by this
+// op, then freed when the op completes — the padding/transpose temporaries
+// of Sec. III-B.
+func (ob *OpBuilder) Scratch(name string, size int64, reads int) tensor.ID {
+	id := ob.Alloc(name, tensor.Scratch, size)
+	ob.access(id, reads, 1)
+	ob.op.Frees = append(ob.op.Frees, id)
+	return id
+}
+
+// Free ends a tensor's lifetime after this op.
+func (ob *OpBuilder) Free(ids ...tensor.ID) *OpBuilder {
+	ob.op.Frees = append(ob.op.Frees, ids...)
+	return ob
+}
+
+// Build finalizes the graph: derives tensor lifetimes and per-layer access
+// counts from the op stream, frees preallocated tensors at the end, and
+// validates the result.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.inLayer {
+		return nil, fmt.Errorf("graph builder %s: Build inside an open layer", b.g.Model)
+	}
+	g := b.g
+	g.NumLayers = b.curLayer + 1
+	if g.NumLayers <= 0 {
+		return nil, fmt.Errorf("graph builder %s: no layers", g.Model)
+	}
+	g.Ops = make([]Op, len(b.ops))
+	for i, op := range b.ops {
+		g.Ops[i] = *op
+	}
+	lastLayer := g.NumLayers - 1
+
+	// Derive lifetimes and access histograms.
+	freed := make([]bool, len(g.Tensors))
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		for _, a := range op.Accesses {
+			t := g.Tensors[a.Tensor]
+			n := len(t.AccessLayers)
+			if n > 0 && t.AccessLayers[n-1].Layer == op.Layer {
+				t.AccessLayers[n-1].Reads += a.Reads
+				t.AccessLayers[n-1].Writes += a.Writes
+			} else {
+				t.AccessLayers = append(t.AccessLayers, tensor.LayerAccess{
+					Layer: op.Layer, Reads: a.Reads, Writes: a.Writes,
+				})
+			}
+		}
+		for _, id := range op.Frees {
+			g.Tensors[id].FreeLayer = op.Layer
+			freed[id] = true
+		}
+	}
+	// Preallocated tensors span the whole step.
+	for _, id := range g.Prealloc {
+		g.Tensors[id].FreeLayer = lastLayer
+		freed[id] = true
+	}
+	// Any mid-training tensor never explicitly freed dies at the end of
+	// the step (the framework frees step-local tensors at step end).
+	if len(g.Ops) > 0 {
+		tail := &g.Ops[len(g.Ops)-1]
+		for id := range g.Tensors {
+			if !freed[id] {
+				g.Tensors[id].FreeLayer = lastLayer
+				tail.Frees = append(tail.Frees, tensor.ID(id))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,232 @@
+// Package graph models one DNN training step as a dataflow graph in the
+// style of TensorFlow v1: a topologically ordered list of operations,
+// grouped into layers (the paper's add_layer() annotation), each operation
+// reading and writing tensors and possibly allocating scratch temporaries.
+//
+// The graph is the workload description consumed by the execution engine;
+// it carries per-operation FLOP counts and per-tensor main-memory access
+// counts, from which the engine derives timing on a given machine.
+package graph
+
+import (
+	"fmt"
+
+	"sentinel/internal/tensor"
+)
+
+// Access is one operation's main-memory traffic to one tensor.
+type Access struct {
+	Tensor tensor.ID
+	Reads  int
+	Writes int
+}
+
+// Op is one operation (conv2d, matmul, batch-norm, ...).
+type Op struct {
+	Name  string
+	Layer int
+	// FLOPs is the operation's compute work, used by the roofline model.
+	FLOPs float64
+	// Accesses lists the op's main-memory traffic. Accesses to the same
+	// tensor are pre-aggregated.
+	Accesses []Access
+	// Allocs are tensors whose lifetime begins at this op (outputs and
+	// scratch). Preallocated tensors never appear here.
+	Allocs []tensor.ID
+	// Frees are tensors whose lifetime ends after this op completes.
+	Frees []tensor.ID
+}
+
+// Graph is one training step of one model at one batch size.
+type Graph struct {
+	Model string
+	Batch int
+	// NumLayers counts annotated layers (forward + backward).
+	NumLayers int
+	// Tensors is indexed by tensor.ID.
+	Tensors []*tensor.Tensor
+	// Ops is the execution schedule, grouped by non-decreasing Layer.
+	Ops []Op
+	// Prealloc lists tensors allocated before the training loop
+	// (weights, inputs): alive for the entire step, not reorganizable.
+	Prealloc []tensor.ID
+	// Variant tags control-flow variants of the same model; the default
+	// dataflow is variant 0 (see Sec. IV-E "Handling control
+	// dependencies").
+	Variant int
+}
+
+// T returns the tensor with the given id.
+func (g *Graph) T(id tensor.ID) *tensor.Tensor { return g.Tensors[id] }
+
+// LayerOps returns the index range [lo,hi) of ops in the given layer.
+func (g *Graph) LayerOps(layer int) (lo, hi int) {
+	lo = -1
+	for i := range g.Ops {
+		if g.Ops[i].Layer == layer {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	if lo < 0 {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// PeakMemory returns the peak total bytes alive at any point of the step,
+// including preallocated tensors. This is the paper's "peak memory
+// consumption" that fast-memory sizes are expressed against.
+func (g *Graph) PeakMemory() int64 {
+	var cur, peak int64
+	for _, id := range g.Prealloc {
+		cur += g.Tensors[id].Size
+	}
+	peak = cur
+	for i := range g.Ops {
+		for _, id := range g.Ops[i].Allocs {
+			cur += g.Tensors[id].Size
+		}
+		if cur > peak {
+			peak = cur
+		}
+		for _, id := range g.Ops[i].Frees {
+			cur -= g.Tensors[id].Size
+		}
+	}
+	return peak
+}
+
+// PeakShortLived returns the peak bytes of short-lived tensors alive at any
+// point; Sentinel sizes its reserved fast-memory pool from this.
+func (g *Graph) PeakShortLived() int64 {
+	var cur, peak int64
+	for i := range g.Ops {
+		for _, id := range g.Ops[i].Allocs {
+			if g.Tensors[id].ShortLived() {
+				cur += g.Tensors[id].Size
+			}
+		}
+		if cur > peak {
+			peak = cur
+		}
+		for _, id := range g.Ops[i].Frees {
+			if g.Tensors[id].ShortLived() {
+				cur -= g.Tensors[id].Size
+			}
+		}
+	}
+	return peak
+}
+
+// LargestLongLived returns the size of the largest long-lived tensor; the
+// paper's lower bound on fast memory is PeakShortLived + LargestLongLived.
+func (g *Graph) LargestLongLived() int64 {
+	var max int64
+	for _, t := range g.Tensors {
+		if !t.ShortLived() && t.Size > max {
+			max = t.Size
+		}
+	}
+	return max
+}
+
+// TotalFLOPs sums compute work over the step.
+func (g *Graph) TotalFLOPs() float64 {
+	var f float64
+	for i := range g.Ops {
+		f += g.Ops[i].FLOPs
+	}
+	return f
+}
+
+// Validate checks structural invariants: every access within the owning
+// tensor's lifetime, allocs/frees exactly once, layers non-decreasing.
+func (g *Graph) Validate() error {
+	if g.NumLayers <= 0 {
+		return fmt.Errorf("graph %s: no layers", g.Model)
+	}
+	allocated := make([]bool, len(g.Tensors))
+	freed := make([]bool, len(g.Tensors))
+	for _, id := range g.Prealloc {
+		if int(id) >= len(g.Tensors) {
+			return fmt.Errorf("graph %s: prealloc id %d out of range", g.Model, id)
+		}
+		if allocated[id] {
+			return fmt.Errorf("graph %s: tensor %d preallocated twice", g.Model, id)
+		}
+		allocated[id] = true
+	}
+	prevLayer := 0
+	for i := range g.Ops {
+		op := &g.Ops[i]
+		if op.Layer < prevLayer {
+			return fmt.Errorf("graph %s: op %d (%s) layer %d < previous layer %d", g.Model, i, op.Name, op.Layer, prevLayer)
+		}
+		if op.Layer >= g.NumLayers {
+			return fmt.Errorf("graph %s: op %d (%s) layer %d >= NumLayers %d", g.Model, i, op.Name, op.Layer, g.NumLayers)
+		}
+		prevLayer = op.Layer
+		for _, id := range op.Allocs {
+			if allocated[id] {
+				return fmt.Errorf("graph %s: tensor %d (%s) allocated twice", g.Model, id, g.Tensors[id].Name)
+			}
+			allocated[id] = true
+		}
+		for _, a := range op.Accesses {
+			if !allocated[a.Tensor] || freed[a.Tensor] {
+				return fmt.Errorf("graph %s: op %d (%s) accesses tensor %d (%s) outside its lifetime", g.Model, i, op.Name, a.Tensor, g.Tensors[a.Tensor].Name)
+			}
+		}
+		for _, id := range op.Frees {
+			if !allocated[id] || freed[id] {
+				return fmt.Errorf("graph %s: tensor %d (%s) freed before alloc or twice", g.Model, id, g.Tensors[id].Name)
+			}
+			freed[id] = true
+		}
+	}
+	for id, t := range g.Tensors {
+		if !allocated[id] {
+			return fmt.Errorf("graph %s: tensor %d (%s) never allocated", g.Model, id, t.Name)
+		}
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("graph %s: %w", g.Model, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the tensor population; used by the characterization
+// study (Sec. III) and its tests.
+type Stats struct {
+	Tensors          int
+	ShortLived       int   // lifetime <= 1 layer
+	SmallShortLived  int   // short-lived and smaller than a page
+	TotalBytes       int64 // sum of tensor sizes
+	PeakBytes        int64
+	PeakShortLived   int64
+	LongLivedTensors int
+}
+
+// ComputeStats derives population statistics with the given page size.
+func (g *Graph) ComputeStats(pageSize int64) Stats {
+	s := Stats{
+		Tensors:        len(g.Tensors),
+		PeakBytes:      g.PeakMemory(),
+		PeakShortLived: g.PeakShortLived(),
+	}
+	for _, t := range g.Tensors {
+		s.TotalBytes += t.Size
+		if t.ShortLived() {
+			s.ShortLived++
+			if t.Size < pageSize {
+				s.SmallShortLived++
+			}
+		} else {
+			s.LongLivedTensors++
+		}
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/tensor"
+)
+
+// buildTiny constructs a 2-layer graph: one weight, one activation crossing
+// layers, scratch inside layer 0.
+func buildTiny(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder("tiny", 4)
+	w := b.Prealloc("w", tensor.Weight, 1024)
+
+	b.BeginLayer()
+	op := b.Op("conv", 1e6)
+	op.Read(w, 2)
+	act := op.Alloc("act", tensor.Activation, 8192)
+	op.Write(act, 1)
+	op.Scratch("tmp", 256, 3)
+	b.EndLayer()
+
+	b.BeginLayer()
+	op2 := b.Op("consume", 1e6)
+	op2.Read(act, 1)
+	op2.Free(act)
+	b.EndLayer()
+
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderDerivesLifetimes(t *testing.T) {
+	g := buildTiny(t)
+	if g.NumLayers != 2 {
+		t.Fatalf("layers = %d", g.NumLayers)
+	}
+	var act, w, tmp *tensor.Tensor
+	for _, ts := range g.Tensors {
+		switch ts.Name {
+		case "act":
+			act = ts
+		case "w":
+			w = ts
+		case "tmp":
+			tmp = ts
+		}
+	}
+	if act == nil || w == nil || tmp == nil {
+		t.Fatal("missing tensors")
+	}
+	if act.AllocLayer != 0 || act.FreeLayer != 1 || act.ShortLived() {
+		t.Fatalf("act lifetime [%d,%d]", act.AllocLayer, act.FreeLayer)
+	}
+	if !w.Preallocated || w.FreeLayer != 1 {
+		t.Fatal("weight should span the step")
+	}
+	if !tmp.ShortLived() {
+		t.Fatal("scratch should be short-lived")
+	}
+	// Access histograms derived from the op stream.
+	if got := w.TotalAccesses(); got != 2 {
+		t.Fatalf("weight accesses = %d", got)
+	}
+	if r, wr := act.AccessesIn(0); r != 0 || wr != 1 {
+		t.Fatalf("act layer-0 accesses %d/%d", r, wr)
+	}
+}
+
+func TestPeakMemory(t *testing.T) {
+	g := buildTiny(t)
+	// Peak: weight 1024 + act 8192 + tmp 256 alive together in layer 0.
+	if got := g.PeakMemory(); got != 1024+8192+256 {
+		t.Fatalf("peak = %d", got)
+	}
+	if got := g.PeakShortLived(); got != 256 {
+		t.Fatalf("short-lived peak = %d", got)
+	}
+	if got := g.LargestLongLived(); got != 8192 {
+		t.Fatalf("largest long-lived = %d", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildTiny(t)
+	s := g.ComputeStats(4096)
+	if s.Tensors != 3 || s.ShortLived != 1 || s.SmallShortLived != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.TotalBytes != 1024+8192+256 {
+		t.Fatalf("total bytes %d", s.TotalBytes)
+	}
+}
+
+func TestLayerOps(t *testing.T) {
+	g := buildTiny(t)
+	lo, hi := g.LayerOps(0)
+	if hi-lo != 1 || g.Ops[lo].Name != "conv" {
+		t.Fatalf("layer 0 ops [%d,%d)", lo, hi)
+	}
+	lo, hi = g.LayerOps(5)
+	if lo != 0 || hi != 0 {
+		t.Fatal("missing layer should be empty")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	// Op outside a layer.
+	b := NewBuilder("bad", 1)
+	b.Op("stray", 1)
+	b.BeginLayer()
+	b.EndLayer()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "outside a layer") {
+		t.Fatalf("stray op accepted: %v", err)
+	}
+
+	// Prealloc after a layer opened.
+	b = NewBuilder("bad2", 1)
+	b.BeginLayer()
+	b.EndLayer()
+	b.Prealloc("late", tensor.Weight, 4)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("late prealloc accepted")
+	}
+
+	// Build inside an open layer.
+	b = NewBuilder("bad3", 1)
+	b.BeginLayer()
+	b.Op("x", 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("build inside layer accepted")
+	}
+
+	// Double free.
+	b = NewBuilder("bad4", 1)
+	b.BeginLayer()
+	op := b.Op("a", 1)
+	id := op.Alloc("t", tensor.Scratch, 64)
+	op.Write(id, 1)
+	op.Free(id)
+	op.Free(id)
+	b.EndLayer()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("double free accepted")
+	}
+
+	// No layers at all.
+	b = NewBuilder("bad5", 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestValidateCatchesUseAfterFree(t *testing.T) {
+	b := NewBuilder("uaf", 1)
+	b.BeginLayer()
+	op := b.Op("a", 1)
+	id := op.Alloc("t", tensor.Scratch, 64)
+	op.Write(id, 1)
+	op.Free(id)
+	b.EndLayer()
+	b.BeginLayer()
+	b.Op("b", 1).Read(id, 1)
+	b.EndLayer()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("use-after-free accepted")
+	}
+}
+
+// TestOpBuilderStableAcrossAppends guards the regression where an op
+// handle pointed into a reallocated slice: mutations after later ops were
+// appended must still land in the built graph.
+func TestOpBuilderStableAcrossAppends(t *testing.T) {
+	b := NewBuilder("stable", 1)
+	w := b.Prealloc("w", tensor.Weight, 64)
+	b.BeginLayer()
+	first := b.Op("first", 1)
+	// Append many more ops to force the internal slice to grow.
+	for i := 0; i < 64; i++ {
+		b.Op("filler", 1).Read(w, 1)
+	}
+	// Mutate the first op afterwards.
+	first.Scratch("late-scratch", 128, 2)
+	b.EndLayer()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ops[0].Allocs) != 1 {
+		t.Fatal("late mutation of an op handle was lost")
+	}
+}
+
+func TestAccessAggregation(t *testing.T) {
+	b := NewBuilder("agg", 1)
+	w := b.Prealloc("w", tensor.Weight, 64)
+	b.BeginLayer()
+	op := b.Op("a", 1)
+	op.Read(w, 1).Read(w, 2).Write(w, 1)
+	b.EndLayer()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Ops[0].Accesses) != 1 {
+		t.Fatalf("accesses to one tensor not aggregated: %d entries", len(g.Ops[0].Accesses))
+	}
+	ac := g.Ops[0].Accesses[0]
+	if ac.Reads != 3 || ac.Writes != 1 {
+		t.Fatalf("aggregated %d/%d", ac.Reads, ac.Writes)
+	}
+}

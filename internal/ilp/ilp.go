@@ -1,0 +1,172 @@
+// Package ilp is a small 0/1 integer-linear-program solver used by the
+// AutoTM baseline, which formulates tensor placement as an ILP [7]. It
+// maximizes a linear benefit over binary variables subject to ≤
+// constraints (multi-dimensional knapsack), via depth-first branch and
+// bound with a greedy incumbent and an optimistic remaining-benefit bound.
+// The solver is anytime: given a node budget it returns the best incumbent
+// found and whether it proved optimality.
+package ilp
+
+import "sort"
+
+// Constraint is Σ Coef[i]·x[i] ≤ Bound. Coefficients must be
+// non-negative (capacity-style constraints).
+type Constraint struct {
+	Coef  map[int]float64
+	Bound float64
+}
+
+// Problem is: maximize Σ Benefit[i]·x[i] subject to the constraints,
+// x binary. Negative benefits are allowed (those variables are only worth
+// setting to satisfy nothing — the solver will leave them off).
+type Problem struct {
+	Benefit []float64
+	Rows    []Constraint
+}
+
+// Result is the solver outcome.
+type Result struct {
+	X       []bool
+	Value   float64
+	Optimal bool
+	Nodes   int
+}
+
+// Solve runs branch and bound with the given node budget (≤0 means a
+// default of 200k nodes).
+func Solve(p *Problem, maxNodes int) Result {
+	if maxNodes <= 0 {
+		maxNodes = 200_000
+	}
+	n := len(p.Benefit)
+	s := &solver{
+		p:        p,
+		maxNodes: maxNodes,
+		rowsFor:  make([][]int, n),
+		usage:    make([]float64, len(p.Rows)),
+		cur:      make([]bool, n),
+	}
+	for ri := range p.Rows {
+		for vi := range p.Rows[ri].Coef {
+			if vi >= 0 && vi < n {
+				s.rowsFor[vi] = append(s.rowsFor[vi], ri)
+			}
+		}
+	}
+	// Branch order: benefit-per-weight density, descending; pure-benefit
+	// variables (no weight) first.
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	density := func(i int) float64 {
+		var w float64
+		for _, ri := range s.rowsFor[i] {
+			w += p.Rows[ri].Coef[i]
+		}
+		if w <= 0 {
+			return p.Benefit[i] * 1e18
+		}
+		return p.Benefit[i] / w
+	}
+	sort.SliceStable(s.order, func(a, b int) bool { return density(s.order[a]) > density(s.order[b]) })
+
+	// suffixBenefit[k] = sum of positive benefits of order[k:]; the
+	// optimistic bound for pruning.
+	s.suffix = make([]float64, n+1)
+	for k := n - 1; k >= 0; k-- {
+		b := p.Benefit[s.order[k]]
+		if b < 0 {
+			b = 0
+		}
+		s.suffix[k] = s.suffix[k+1] + b
+	}
+
+	// Greedy incumbent.
+	s.best = make([]bool, n)
+	var greedyVal float64
+	for _, vi := range s.order {
+		if p.Benefit[vi] <= 0 || !s.fits(vi) {
+			continue
+		}
+		s.take(vi)
+		s.best[vi] = true
+		greedyVal += p.Benefit[vi]
+	}
+	s.bestVal = greedyVal
+	// Reset usage for the search.
+	for i := range s.usage {
+		s.usage[i] = 0
+	}
+
+	optimal := s.dfs(0, 0)
+	return Result{X: s.best, Value: s.bestVal, Optimal: optimal, Nodes: s.nodes}
+}
+
+type solver struct {
+	p        *Problem
+	order    []int
+	rowsFor  [][]int
+	suffix   []float64
+	usage    []float64
+	cur      []bool
+	best     []bool
+	bestVal  float64
+	nodes    int
+	maxNodes int
+}
+
+func (s *solver) fits(vi int) bool {
+	for _, ri := range s.rowsFor[vi] {
+		if s.usage[ri]+s.p.Rows[ri].Coef[vi] > s.p.Rows[ri].Bound+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) take(vi int) {
+	for _, ri := range s.rowsFor[vi] {
+		s.usage[ri] += s.p.Rows[ri].Coef[vi]
+	}
+}
+
+func (s *solver) drop(vi int) {
+	for _, ri := range s.rowsFor[vi] {
+		s.usage[ri] -= s.p.Rows[ri].Coef[vi]
+	}
+}
+
+// dfs returns true if the subtree was fully explored (no budget cut).
+func (s *solver) dfs(k int, value float64) bool {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return false
+	}
+	if value > s.bestVal {
+		s.bestVal = value
+		copy(s.best, s.cur)
+	}
+	if k == len(s.order) {
+		return true
+	}
+	if value+s.suffix[k] <= s.bestVal {
+		return true // cannot beat the incumbent
+	}
+	vi := s.order[k]
+	complete := true
+	// Branch: include first (density order makes inclusion promising).
+	if s.p.Benefit[vi] > 0 && s.fits(vi) {
+		s.take(vi)
+		s.cur[vi] = true
+		if !s.dfs(k+1, value+s.p.Benefit[vi]) {
+			complete = false
+		}
+		s.cur[vi] = false
+		s.drop(vi)
+	}
+	if !s.dfs(k+1, value) {
+		complete = false
+	}
+	return complete
+}

@@ -1,0 +1,202 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bruteForce solves tiny instances exactly.
+func bruteForce(p *Problem) float64 {
+	n := len(p.Benefit)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		feasible := true
+		for _, row := range p.Rows {
+			var sum float64
+			for vi, c := range row.Coef {
+				if mask&(1<<vi) != 0 {
+					sum += c
+				}
+			}
+			if sum > row.Bound+1e-9 {
+				feasible = false
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		var val float64
+		for vi, b := range p.Benefit {
+			if mask&(1<<vi) != 0 {
+				val += b
+			}
+		}
+		if val > best {
+			best = val
+		}
+	}
+	return best
+}
+
+func TestKnapsackExact(t *testing.T) {
+	// Classic knapsack: values 60/100/120, weights 10/20/30, capacity 50.
+	p := &Problem{
+		Benefit: []float64{60, 100, 120},
+		Rows: []Constraint{{
+			Coef:  map[int]float64{0: 10, 1: 20, 2: 30},
+			Bound: 50,
+		}},
+	}
+	res := Solve(p, 0)
+	if !res.Optimal {
+		t.Fatal("tiny instance not proved optimal")
+	}
+	if res.Value != 220 {
+		t.Fatalf("value %v, want 220 (items 1+2)", res.Value)
+	}
+	if res.X[0] || !res.X[1] || !res.X[2] {
+		t.Fatalf("selection %v", res.X)
+	}
+}
+
+func TestNegativeBenefitsNeverChosen(t *testing.T) {
+	p := &Problem{Benefit: []float64{-5, 10, -1}}
+	res := Solve(p, 0)
+	if res.X[0] || res.X[2] {
+		t.Fatal("negative-benefit variable selected")
+	}
+	if res.Value != 10 {
+		t.Fatalf("value %v", res.Value)
+	}
+}
+
+func TestExclusivityConstraint(t *testing.T) {
+	// Two mutually exclusive variables; the better one must win.
+	p := &Problem{
+		Benefit: []float64{5, 8},
+		Rows: []Constraint{{
+			Coef:  map[int]float64{0: 1, 1: 1},
+			Bound: 1,
+		}},
+	}
+	res := Solve(p, 0)
+	if res.Value != 8 || res.X[0] || !res.X[1] {
+		t.Fatalf("exclusivity broken: %v value %v", res.X, res.Value)
+	}
+}
+
+func TestMultiDimensional(t *testing.T) {
+	// Two capacity rows; only combinations feasible under both count.
+	p := &Problem{
+		Benefit: []float64{10, 10, 10},
+		Rows: []Constraint{
+			{Coef: map[int]float64{0: 5, 1: 5, 2: 5}, Bound: 10},
+			{Coef: map[int]float64{0: 9, 1: 1, 2: 1}, Bound: 10},
+		},
+	}
+	res := Solve(p, 0)
+	// All three violate row 1 (15 > 10); {0,1} and {0,2} violate row 2
+	// (10 <= 10 is ok!) — check against brute force.
+	want := bruteForce(p)
+	if res.Value != want {
+		t.Fatalf("value %v, brute force %v", res.Value, want)
+	}
+}
+
+func TestMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		p := &Problem{Benefit: make([]float64, n)}
+		for i := range p.Benefit {
+			p.Benefit[i] = float64(rng.Intn(40) - 5)
+		}
+		rows := 1 + rng.Intn(3)
+		for r := 0; r < rows; r++ {
+			c := Constraint{Coef: map[int]float64{}, Bound: float64(10 + rng.Intn(40))}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					c.Coef[i] = float64(1 + rng.Intn(20))
+				}
+			}
+			p.Rows = append(p.Rows, c)
+		}
+		res := Solve(p, 0)
+		want := bruteForce(p)
+		if res.Value != want {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, res.Value, want)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: tiny instance not proved optimal", trial)
+		}
+	}
+}
+
+func TestAnytimeUnderBudget(t *testing.T) {
+	// A large instance with a tiny node budget: must return a feasible
+	// incumbent, not crash or claim optimality falsely.
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	p := &Problem{Benefit: make([]float64, n)}
+	row := Constraint{Coef: map[int]float64{}, Bound: 500}
+	for i := range p.Benefit {
+		p.Benefit[i] = float64(1 + rng.Intn(100))
+		row.Coef[i] = float64(1 + rng.Intn(50))
+	}
+	p.Rows = []Constraint{row}
+	res := Solve(p, 500)
+	if res.Value <= 0 {
+		t.Fatal("no incumbent found")
+	}
+	// Verify feasibility of the returned solution.
+	var w float64
+	for i, x := range res.X {
+		if x {
+			w += row.Coef[i]
+		}
+	}
+	if w > row.Bound {
+		t.Fatalf("infeasible incumbent: weight %v > %v", w, row.Bound)
+	}
+}
+
+func TestSolverBeatsOrMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 30
+		p := &Problem{Benefit: make([]float64, n)}
+		row := Constraint{Coef: map[int]float64{}, Bound: 100}
+		for i := range p.Benefit {
+			p.Benefit[i] = float64(1 + rng.Intn(50))
+			row.Coef[i] = float64(1 + rng.Intn(30))
+		}
+		p.Rows = []Constraint{row}
+		// Greedy by density.
+		type item struct{ b, w float64 }
+		items := make([]item, n)
+		for i := range items {
+			items[i] = item{p.Benefit[i], row.Coef[i]}
+		}
+		var greedy float64
+		cap := row.Bound
+		for {
+			best, bi := 0.0, -1
+			for i, it := range items {
+				if it.w <= cap && it.b/it.w > best {
+					best, bi = it.b/it.w, i
+				}
+			}
+			if bi < 0 {
+				break
+			}
+			greedy += items[bi].b
+			cap -= items[bi].w
+			items[bi].w = 1e18
+		}
+		res := Solve(p, 100_000)
+		if res.Value < greedy {
+			t.Fatalf("trial %d: solver %v below greedy %v", trial, res.Value, greedy)
+		}
+	}
+}

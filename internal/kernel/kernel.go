@@ -1,0 +1,429 @@
+// Package kernel simulates the operating-system memory-management layer
+// Sentinel modifies in Linux v5.6: page tables over a two-tier physical
+// memory, poison-bit (PTE bit 51) access counting driven by protection
+// faults, move_pages()-style page migration, and page pinning.
+//
+// Virtual pages are tracked as run-length-encoded extents rather than
+// individual page structs, so simulating address spaces of hundreds of
+// gigabytes stays O(live tensors), not O(pages).
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+)
+
+// Page geometry. 4 KiB pages, as on the paper's x86 platform.
+const (
+	PageShift = 12
+	PageSize  = int64(1) << PageShift
+)
+
+// PageID is a virtual page number.
+type PageID int64
+
+// PageOf returns the page containing a virtual address.
+func PageOf(addr int64) PageID { return PageID(addr >> PageShift) }
+
+// PageSpan returns the page range [first, last] covering [addr, addr+size).
+func PageSpan(addr, size int64) (first, last PageID) {
+	if size <= 0 {
+		size = 1
+	}
+	return PageOf(addr), PageOf(addr + size - 1)
+}
+
+// run is a maximal extent of mapped virtual pages with uniform state.
+// The interval is [start, end) in page numbers.
+type run struct {
+	start, end PageID
+	tier       memsys.Tier
+	// pending describes an in-flight migration: at pendingUntil the run
+	// becomes resident on pendingTier. Settled lazily.
+	pendingUntil simtime.Time
+	pendingTier  memsys.Tier
+	migrating    bool
+	pinned       bool
+	poisoned     bool
+	// faults accumulates profiling protection faults per page of this
+	// run (each main-memory access to a poisoned page faults once, and
+	// the handler re-poisons the page).
+	faultsPerPage int64
+}
+
+func (r *run) pages() int64 { return int64(r.end - r.start) }
+func (r *run) bytes() int64 { return r.pages() * PageSize }
+
+// TouchFunc observes page accesses; baselines such as IAL hook it to drive
+// their active lists. The range is [first, last] inclusive.
+type TouchFunc func(first, last PageID, write bool, at simtime.Time)
+
+// Kernel is the simulated OS memory manager.
+type Kernel struct {
+	spec memsys.Spec
+	runs []run // sorted by start, disjoint
+	used [2]int64
+	// in moves pages slow->fast, out fast->slow; independent channels
+	// mirroring Sentinel's two migration helper threads.
+	in, out *memsys.Channel
+
+	onTouch   TouchFunc
+	profiling bool
+	faults    int64 // total profiling faults taken
+}
+
+// New returns a kernel managing memory with the given machine spec.
+func New(spec memsys.Spec) (*Kernel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Kernel{
+		spec: spec,
+		in:   memsys.NewChannel(spec.MigrationBW),
+		out:  memsys.NewChannel(spec.MigrationBW),
+	}, nil
+}
+
+// Spec returns the machine spec the kernel was built with.
+func (k *Kernel) Spec() memsys.Spec { return k.spec }
+
+// SetTouchHook installs a page-touch observer (nil to remove).
+func (k *Kernel) SetTouchHook(f TouchFunc) { k.onTouch = f }
+
+// SetProfiling enables or disables poison-fault accounting.
+func (k *Kernel) SetProfiling(on bool) { k.profiling = on }
+
+// Profiling reports whether poison-fault accounting is active.
+func (k *Kernel) Profiling() bool { return k.profiling }
+
+// Faults returns the total number of profiling protection faults taken.
+func (k *Kernel) Faults() int64 { return k.faults }
+
+// Used reports mapped bytes on the tier (including in-flight destinations).
+func (k *Kernel) Used(t memsys.Tier) int64 { return k.used[t] }
+
+// Free reports unmapped capacity remaining on the tier.
+func (k *Kernel) Free(t memsys.Tier) int64 {
+	if t == memsys.Fast {
+		return k.spec.Fast.Size - k.used[memsys.Fast]
+	}
+	return k.spec.Slow.Size - k.used[memsys.Slow]
+}
+
+// InChannel returns the slow->fast migration channel.
+func (k *Kernel) InChannel() *memsys.Channel { return k.in }
+
+// OutChannel returns the fast->slow migration channel.
+func (k *Kernel) OutChannel() *memsys.Channel { return k.out }
+
+// settle commits a run's pending migration if it completed by instant at.
+func (r *run) settle(at simtime.Time) {
+	if r.migrating && r.pendingUntil <= at {
+		r.tier = r.pendingTier
+		r.migrating = false
+	}
+}
+
+// findIdx returns the index of the first run with end > page.
+func (k *Kernel) findIdx(page PageID) int {
+	return sort.Search(len(k.runs), func(i int) bool { return k.runs[i].end > page })
+}
+
+// splitAt ensures no run straddles the given page boundary: any run
+// containing it is split so that one run ends and another begins there.
+func (k *Kernel) splitAt(page PageID) {
+	i := k.findIdx(page)
+	if i >= len(k.runs) {
+		return
+	}
+	r := &k.runs[i]
+	if r.start >= page || r.end <= page {
+		return
+	}
+	left := *r
+	left.end = page
+	r.start = page
+	k.runs = append(k.runs, run{})
+	copy(k.runs[i+1:], k.runs[i:])
+	k.runs[i] = left
+}
+
+// Map maps the page range [first, last] onto the given tier. It fails if
+// any page is already mapped or the tier lacks capacity.
+func (k *Kernel) Map(first, last PageID, tier memsys.Tier) error {
+	if last < first {
+		return fmt.Errorf("kernel: map: invalid range [%d,%d]", first, last)
+	}
+	n := (int64(last-first) + 1) * PageSize
+	if k.Free(tier) < n {
+		return fmt.Errorf("kernel: map: %s full (need %s, free %s)", tier, simtime.Bytes(n), simtime.Bytes(k.Free(tier)))
+	}
+	i := k.findIdx(first)
+	if i < len(k.runs) && k.runs[i].start <= PageID(last) {
+		return fmt.Errorf("kernel: map: range [%d,%d] overlaps mapped run [%d,%d)", first, last, k.runs[i].start, k.runs[i].end)
+	}
+	k.runs = append(k.runs, run{})
+	copy(k.runs[i+1:], k.runs[i:])
+	k.runs[i] = run{start: first, end: last + 1, tier: tier}
+	k.used[tier] += n
+	return nil
+}
+
+// Unmap releases the page range [first, last]. Unmapped holes inside the
+// range are ignored, mirroring munmap semantics.
+func (k *Kernel) Unmap(first, last PageID, at simtime.Time) {
+	k.splitAt(first)
+	k.splitAt(last + 1)
+	i := k.findIdx(first)
+	for i < len(k.runs) && k.runs[i].start <= last {
+		r := &k.runs[i]
+		if r.start >= first && r.end <= last+1 {
+			r.settle(at)
+			k.used[r.tier] -= r.bytes()
+			k.runs = append(k.runs[:i], k.runs[i+1:]...)
+			continue
+		}
+		i++
+	}
+}
+
+// forRange applies f to every mapped run overlapping [first, last], after
+// splitting runs at the range boundaries so f sees only fully-contained
+// runs.
+func (k *Kernel) forRange(first, last PageID, f func(r *run)) {
+	k.splitAt(first)
+	k.splitAt(last + 1)
+	for i := k.findIdx(first); i < len(k.runs) && k.runs[i].start <= last; i++ {
+		f(&k.runs[i])
+	}
+}
+
+// TierBytes apportions the bytes of [addr, addr+size) across tiers as
+// resident at instant at. Unmapped bytes are reported as slow (the engine
+// treats them as an error elsewhere).
+func (k *Kernel) TierBytes(addr, size int64, at simtime.Time) (fast, slow int64) {
+	first, last := PageSpan(addr, size)
+	var fastPages, totalPages int64
+	k.forRange(first, last, func(r *run) {
+		r.settle(at)
+		totalPages += r.pages()
+		if r.tier == memsys.Fast {
+			fastPages += r.pages()
+		}
+	})
+	if totalPages == 0 {
+		return 0, size
+	}
+	fast = size * fastPages / totalPages
+	return fast, size - fast
+}
+
+// ResidentFastBy returns the earliest instant at which every mapped page of
+// [first,last] is resident on fast memory given already-issued migrations,
+// and whether that ever happens (false if some page is on slow with no
+// pending migration).
+func (k *Kernel) ResidentFastBy(first, last PageID, at simtime.Time) (ready simtime.Time, ok bool) {
+	ready = at
+	ok = true
+	k.forRange(first, last, func(r *run) {
+		r.settle(at)
+		switch {
+		case r.tier == memsys.Fast:
+		case r.migrating && r.pendingTier == memsys.Fast:
+			if r.pendingUntil > ready {
+				ready = r.pendingUntil
+			}
+		default:
+			ok = false
+		}
+	})
+	return ready, ok
+}
+
+// Pin marks the page range as unmovable (the reserved short-lived pool, or
+// mlock()ed pinned memory). Migrate skips pinned runs.
+func (k *Kernel) Pin(first, last PageID, pinned bool) {
+	k.forRange(first, last, func(r *run) { r.pinned = pinned })
+}
+
+// Poison sets the poison bit on the range; the next access to each page
+// takes a protection fault when profiling is enabled.
+func (k *Kernel) Poison(first, last PageID) {
+	k.forRange(first, last, func(r *run) { r.poisoned = true })
+}
+
+// Touch records main-memory accesses to [addr, addr+size): it drives the
+// touch hook, and during profiling it takes one protection fault per page
+// per access (the fault handler re-poisons, so every access faults). It
+// returns the number of faults taken, whose cost the engine charges to the
+// running op.
+func (k *Kernel) Touch(addr, size int64, accesses int, write bool, at simtime.Time) (faults int64) {
+	if accesses <= 0 {
+		return 0
+	}
+	first, last := PageSpan(addr, size)
+	if k.onTouch != nil {
+		k.onTouch(first, last, write, at)
+	}
+	if !k.profiling {
+		return 0
+	}
+	k.forRange(first, last, func(r *run) {
+		if !r.poisoned {
+			return
+		}
+		n := r.pages() * int64(accesses)
+		r.faultsPerPage += int64(accesses)
+		faults += n
+	})
+	k.faults += faults
+	return faults
+}
+
+// FaultCounts returns the per-page profiling fault count recorded for
+// [addr, addr+size), summed over pages. With page-aligned allocation this
+// is exactly the tensor's main-memory access count times its page count.
+func (k *Kernel) FaultCounts(addr, size int64) int64 {
+	first, last := PageSpan(addr, size)
+	var total int64
+	k.forRange(first, last, func(r *run) {
+		total += r.faultsPerPage * r.pages()
+	})
+	return total
+}
+
+// MigrateStats reports what a migration of [addr, addr+size) to dst would
+// move at instant at: bytes actually on the other tier, excluding pinned
+// pages.
+func (k *Kernel) MigrateStats(addr, size int64, dst memsys.Tier, at simtime.Time) (movable int64) {
+	first, last := PageSpan(addr, size)
+	k.forRange(first, last, func(r *run) {
+		r.settle(at)
+		if r.pinned || r.tier == dst || r.migrating {
+			return
+		}
+		movable += r.bytes()
+	})
+	return movable
+}
+
+// MigrateUrgent is Migrate with demand-fault priority: the transfer
+// preempts queued prefetch traffic on the channel (completing after its
+// own transfer time) instead of waiting behind it.
+func (k *Kernel) MigrateUrgent(addr, size int64, dst memsys.Tier, at simtime.Time) (done simtime.Time, moved, shortfall int64) {
+	return k.migrate(addr, size, dst, at, true)
+}
+
+// Migrate moves the pages of [addr, addr+size) to dst asynchronously,
+// mirroring move_pages(). Pages already on dst, pinned, or mid-migration
+// are skipped. Capacity on dst is reserved at submit time; source capacity
+// is released at submit time as well (the simulation's accounting is
+// instantaneous even though residency switches at the returned completion
+// instant). Returns the completion instant and the bytes queued; if dst is
+// full, it migrates what fits (in address order) and reports the shortfall.
+func (k *Kernel) Migrate(addr, size int64, dst memsys.Tier, at simtime.Time) (done simtime.Time, moved, shortfall int64) {
+	return k.migrate(addr, size, dst, at, false)
+}
+
+func (k *Kernel) migrate(addr, size int64, dst memsys.Tier, at simtime.Time, urgent bool) (done simtime.Time, moved, shortfall int64) {
+	first, last := PageSpan(addr, size)
+	ch := k.in
+	if dst == memsys.Slow {
+		ch = k.out
+	}
+	done = at
+	k.forRange(first, last, func(r *run) {
+		r.settle(at)
+		if r.pinned || r.migrating || r.tier == dst {
+			return
+		}
+		n := r.bytes()
+		if k.Free(dst) < n {
+			shortfall += n
+			return
+		}
+		k.used[r.tier] -= n
+		k.used[dst] += n
+		var complete simtime.Time
+		if urgent {
+			complete = ch.SubmitUrgent(at, n)
+		} else {
+			complete = ch.Submit(at, n)
+		}
+		r.migrating = true
+		r.pendingTier = dst
+		r.pendingUntil = complete
+		moved += n
+		if complete > done {
+			done = complete
+		}
+	})
+	return done, moved, shortfall
+}
+
+// Relocate instantly reassigns the pages of [addr, addr+size) to dst
+// without a transfer. It models placing data that need not be copied: a
+// freshly allocated tensor (no contents yet) or a recomputed one
+// (Capuchin regenerates the values instead of transferring them). Pinned
+// pages are skipped; a pending migration of the range is cancelled — its
+// data is about to be overwritten anyway. Returns bytes relocated and the
+// bytes that did not fit on dst.
+func (k *Kernel) Relocate(addr, size int64, dst memsys.Tier, at simtime.Time) (moved, shortfall int64) {
+	first, last := PageSpan(addr, size)
+	k.forRange(first, last, func(r *run) {
+		r.settle(at)
+		if r.migrating {
+			// Cancel: residency accounting already reflects the
+			// pending destination.
+			r.tier = r.pendingTier
+			r.migrating = false
+		}
+		if r.pinned || r.tier == dst {
+			return
+		}
+		n := r.bytes()
+		if k.Free(dst) < n {
+			shortfall += n
+			return
+		}
+		k.used[r.tier] -= n
+		k.used[dst] += n
+		r.tier = dst
+		moved += n
+	})
+	return moved, shortfall
+}
+
+// FirstOnTier returns the lowest-addressed mapped, unpinned, settled run
+// resident on the tier — the scan primitive page-level demotion policies
+// (active lists) fall back to when their bookkeeping goes stale.
+func (k *Kernel) FirstOnTier(tier memsys.Tier, at simtime.Time) (addr, size int64, ok bool) {
+	for i := range k.runs {
+		r := &k.runs[i]
+		r.settle(at)
+		if r.pinned || r.migrating || r.tier != tier {
+			continue
+		}
+		return int64(r.start) << PageShift, r.bytes(), true
+	}
+	return 0, 0, false
+}
+
+// Runs returns the number of mapped runs; exported for tests and
+// fragmentation diagnostics.
+func (k *Kernel) Runs() int { return len(k.runs) }
+
+// MappedBytes returns total mapped bytes across both tiers.
+func (k *Kernel) MappedBytes() int64 { return k.used[memsys.Fast] + k.used[memsys.Slow] }
+
+// ResetCounters clears fault counters and migration channel statistics,
+// keeping mappings; used between profiling and training phases.
+func (k *Kernel) ResetCounters() {
+	k.faults = 0
+	for i := range k.runs {
+		k.runs[i].faultsPerPage = 0
+	}
+}

@@ -1,0 +1,343 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+)
+
+// testSpec returns a small machine for kernel tests: 1 MiB fast, 16 MiB
+// slow, 1 GB/s migration.
+func testSpec() memsys.Spec {
+	s := memsys.OptaneHM()
+	s.Fast.Size = 1 << 20
+	s.Slow.Size = 16 << 20
+	s.MigrationBW = 1e9
+	return s
+}
+
+func newKernel(t *testing.T) *Kernel {
+	t.Helper()
+	k, err := New(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestPageGeometry(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+	f, l := PageSpan(4096, 4096)
+	if f != 1 || l != 1 {
+		t.Fatalf("PageSpan(4096,4096) = [%d,%d]", f, l)
+	}
+	f, l = PageSpan(4000, 200)
+	if f != 0 || l != 1 {
+		t.Fatalf("straddling span = [%d,%d]", f, l)
+	}
+	f, l = PageSpan(0, 0)
+	if f != 0 || l != 0 {
+		t.Fatalf("empty span = [%d,%d]", f, l)
+	}
+}
+
+func TestMapUnmapAccounting(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(1, 4, memsys.Fast); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Used(memsys.Fast); got != 4*PageSize {
+		t.Fatalf("used = %d", got)
+	}
+	// Overlapping map must fail.
+	if err := k.Map(3, 6, memsys.Slow); err == nil {
+		t.Fatal("overlapping map succeeded")
+	}
+	// Capacity is enforced: fast is 1 MiB = 256 pages.
+	if err := k.Map(1000, 1000+300, memsys.Fast); err == nil {
+		t.Fatal("over-capacity map succeeded")
+	}
+	k.Unmap(2, 3, 0)
+	if got := k.Used(memsys.Fast); got != 2*PageSize {
+		t.Fatalf("after partial unmap used = %d", got)
+	}
+	// Remap into the hole.
+	if err := k.Map(2, 3, memsys.Slow); err != nil {
+		t.Fatalf("remap into hole: %v", err)
+	}
+}
+
+func TestTierBytes(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 3, memsys.Fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Map(4, 7, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := k.TierBytes(0, 8*PageSize, 0)
+	if fast != 4*PageSize || slow != 4*PageSize {
+		t.Fatalf("split %d/%d", fast, slow)
+	}
+	// Unmapped range reports as slow.
+	fast, slow = k.TierBytes(100*PageSize, PageSize, 0)
+	if fast != 0 || slow != PageSize {
+		t.Fatalf("unmapped split %d/%d", fast, slow)
+	}
+}
+
+func TestMigrateAsyncSemantics(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 99, memsys.Slow); err != nil { // 100 pages
+		t.Fatal(err)
+	}
+	bytes := int64(100) * PageSize
+	done, moved, short := k.Migrate(0, bytes, memsys.Fast, 0)
+	if short != 0 || moved != bytes {
+		t.Fatalf("moved %d short %d", moved, short)
+	}
+	want := simtime.Time(simtime.TransferTime(bytes, 1e9))
+	if done != want {
+		t.Fatalf("done %v want %v", done, want)
+	}
+	// Capacity accounting is instantaneous...
+	if k.Used(memsys.Fast) != bytes {
+		t.Fatal("fast not reserved at submit")
+	}
+	// ...but residency switches only at completion.
+	fast, _ := k.TierBytes(0, bytes, done-1)
+	if fast != 0 {
+		t.Fatalf("resident early: %d fast bytes", fast)
+	}
+	fast, _ = k.TierBytes(0, bytes, done)
+	if fast != bytes {
+		t.Fatalf("not resident at completion: %d", fast)
+	}
+	// Migrating to the same tier is a no-op.
+	_, moved, _ = k.Migrate(0, bytes, memsys.Fast, done)
+	if moved != 0 {
+		t.Fatalf("same-tier migrate moved %d", moved)
+	}
+}
+
+func TestMigrateCapacityShortfall(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 511, memsys.Slow); err != nil { // 2 MiB > 1 MiB fast
+		t.Fatal(err)
+	}
+	_, moved, short := k.Migrate(0, 512*PageSize, memsys.Fast, 0)
+	if short == 0 {
+		t.Fatal("expected shortfall")
+	}
+	if moved+short != 512*PageSize {
+		t.Fatalf("moved %d + short %d != total", moved, short)
+	}
+}
+
+func TestPinPreventsMigration(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	k.Pin(0, 4, true)
+	_, moved, _ := k.Migrate(0, 10*PageSize, memsys.Fast, 0)
+	if moved != 5*PageSize {
+		t.Fatalf("moved %d, want only the unpinned half", moved)
+	}
+	k.Pin(0, 4, false)
+	_, moved, _ = k.Migrate(0, 10*PageSize, memsys.Fast, 0)
+	if moved != 5*PageSize {
+		t.Fatalf("after unpin moved %d", moved)
+	}
+}
+
+func TestPoisonFaultCounting(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	k.Poison(0, 9)
+	// Without profiling enabled, no faults.
+	if f := k.Touch(0, 10*PageSize, 3, false, 0); f != 0 {
+		t.Fatalf("faults without profiling: %d", f)
+	}
+	k.SetProfiling(true)
+	// Each access faults once per page (the handler re-poisons).
+	if f := k.Touch(0, 10*PageSize, 3, true, 0); f != 30 {
+		t.Fatalf("faults = %d, want 30", f)
+	}
+	if k.Faults() != 30 {
+		t.Fatalf("total faults = %d", k.Faults())
+	}
+	if c := k.FaultCounts(0, 10*PageSize); c != 30 {
+		t.Fatalf("FaultCounts = %d", c)
+	}
+	// Unpoisoned pages never fault.
+	if err := k.Map(100, 100, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	if f := k.Touch(100*PageSize, PageSize, 5, false, 0); f != 0 {
+		t.Fatalf("unpoisoned page faulted %d times", f)
+	}
+	k.ResetCounters()
+	if k.Faults() != 0 || k.FaultCounts(0, 10*PageSize) != 0 {
+		t.Fatal("counters not reset")
+	}
+}
+
+func TestTouchHook(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 3, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	k.SetTouchHook(func(first, last PageID, write bool, at simtime.Time) {
+		calls++
+		if first != 0 || last != 3 || !write {
+			t.Errorf("hook args %d %d %v", first, last, write)
+		}
+	})
+	k.Touch(0, 4*PageSize, 1, true, 0)
+	if calls != 1 {
+		t.Fatalf("hook called %d times", calls)
+	}
+	k.SetTouchHook(nil)
+	k.Touch(0, 4*PageSize, 1, true, 0) // must not panic
+}
+
+func TestRelocate(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	moved, short := k.Relocate(0, 10*PageSize, memsys.Fast, 0)
+	if short != 0 || moved != 10*PageSize {
+		t.Fatalf("moved %d short %d", moved, short)
+	}
+	// Relocation is instantaneous.
+	fast, _ := k.TierBytes(0, 10*PageSize, 0)
+	if fast != 10*PageSize {
+		t.Fatal("not resident immediately after relocate")
+	}
+	// Relocate cancels a pending migration.
+	k.Migrate(0, 10*PageSize, memsys.Slow, 0)
+	moved, _ = k.Relocate(0, 10*PageSize, memsys.Fast, 0)
+	if moved != 10*PageSize {
+		t.Fatalf("relocate after migrate moved %d", moved)
+	}
+	fast, _ = k.TierBytes(0, 10*PageSize, 0)
+	if fast != 10*PageSize {
+		t.Fatal("pending migration not cancelled")
+	}
+}
+
+func TestResidentFastBy(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := k.ResidentFastBy(0, 9, 0)
+	if ok {
+		t.Fatal("slow pages with no migration reported residency")
+	}
+	done, _, _ := k.Migrate(0, 10*PageSize, memsys.Fast, 0)
+	ready, ok := k.ResidentFastBy(0, 9, 0)
+	if !ok || ready != done {
+		t.Fatalf("ready %v ok %v, want %v true", ready, ok, done)
+	}
+}
+
+func TestMigrateUrgentFasterThanQueued(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 99, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Map(200, 209, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the in-channel with a large queued transfer.
+	k.Migrate(0, 50*PageSize, memsys.Fast, 0)
+	queued, _, _ := k.Migrate(50*PageSize, 50*PageSize, memsys.Fast, 0)
+	urgent, _, _ := k.MigrateUrgent(200*PageSize, 10*PageSize, memsys.Fast, 0)
+	if urgent >= queued {
+		t.Fatalf("urgent (%v) not faster than queued (%v)", urgent, queued)
+	}
+}
+
+// TestRandomOpsInvariants drives the kernel with random map/unmap/migrate
+// sequences and checks the accounting invariant: used bytes per tier equal
+// the sum over mapped runs.
+func TestRandomOpsInvariants(t *testing.T) {
+	spec := testSpec()
+	spec.Fast.Size = 64 << 20
+	spec.Slow.Size = 64 << 20
+	k, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	type seg struct{ first, last PageID }
+	var mapped []seg
+	now := simtime.Time(0)
+	for i := 0; i < 2000; i++ {
+		now = now.Add(simtime.Duration(rng.Intn(1000)) * simtime.Microsecond)
+		switch rng.Intn(4) {
+		case 0: // map a fresh range
+			first := PageID(rng.Intn(4000))
+			last := first + PageID(rng.Intn(16))
+			overlap := false
+			for _, s := range mapped {
+				if first <= s.last && last >= s.first {
+					overlap = true
+					break
+				}
+			}
+			tier := memsys.Tier(rng.Intn(2))
+			err := k.Map(first, last, tier)
+			if overlap && err == nil {
+				t.Fatalf("op %d: overlapping map succeeded [%d,%d]", i, first, last)
+			}
+			if err == nil {
+				mapped = append(mapped, seg{first, last})
+			}
+		case 1: // unmap one mapped range
+			if len(mapped) == 0 {
+				continue
+			}
+			j := rng.Intn(len(mapped))
+			k.Unmap(mapped[j].first, mapped[j].last, now)
+			mapped = append(mapped[:j], mapped[j+1:]...)
+		case 2: // migrate a mapped range
+			if len(mapped) == 0 {
+				continue
+			}
+			s := mapped[rng.Intn(len(mapped))]
+			addr := int64(s.first) << PageShift
+			size := (int64(s.last-s.first) + 1) * PageSize
+			k.Migrate(addr, size, memsys.Tier(rng.Intn(2)), now)
+		case 3: // touch a mapped range
+			if len(mapped) == 0 {
+				continue
+			}
+			s := mapped[rng.Intn(len(mapped))]
+			addr := int64(s.first) << PageShift
+			size := (int64(s.last-s.first) + 1) * PageSize
+			k.Touch(addr, size, 1+rng.Intn(3), rng.Intn(2) == 0, now)
+		}
+		// Invariant: total mapped bytes match the tracked segments.
+		var want int64
+		for _, s := range mapped {
+			want += (int64(s.last-s.first) + 1) * PageSize
+		}
+		if got := k.MappedBytes(); got != want {
+			t.Fatalf("op %d: mapped bytes %d, tracked %d", i, got, want)
+		}
+		if k.Used(memsys.Fast) < 0 || k.Used(memsys.Slow) < 0 {
+			t.Fatalf("op %d: negative usage", i)
+		}
+	}
+}

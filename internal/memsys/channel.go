@@ -1,0 +1,72 @@
+package memsys
+
+import (
+	"sentinel/internal/simtime"
+)
+
+// Channel models one direction of the page-migration path as a serial
+// resource: transfers queue behind each other and each takes
+// bytes/bandwidth of virtual time. The Sentinel implementation uses one
+// helper thread per direction, which this mirrors.
+type Channel struct {
+	bw        float64
+	busyUntil simtime.Time
+	moved     int64
+}
+
+// NewChannel returns a channel with the given bandwidth in bytes/second.
+func NewChannel(bytesPerSec float64) *Channel {
+	return &Channel{bw: bytesPerSec}
+}
+
+// Submit enqueues a transfer of n bytes at instant now and returns the
+// instant the transfer completes. Transfers serialize: a transfer submitted
+// while the channel is busy starts when the channel drains.
+func (c *Channel) Submit(now simtime.Time, n int64) simtime.Time {
+	if n < 0 {
+		n = 0
+	}
+	start := simtime.Max(now, c.busyUntil)
+	c.busyUntil = start.Add(simtime.TransferTime(n, c.bw))
+	c.moved += n
+	return c.busyUntil
+}
+
+// urgentEfficiency derates fault-driven transfers: demand paging moves
+// data in small fault-sized pieces and reaches well under half of the
+// bulk-copy bandwidth (the documented CUDA Unified Memory behaviour; the
+// same penalty applies to any access that faults a non-resident page).
+const urgentEfficiency = 0.45
+
+// SubmitUrgent enqueues a fault-driven transfer: it preempts the queued
+// prefetch work (completing after just its own transfer time) but runs at
+// the derated fault-path bandwidth; the queued backlog is pushed back by
+// the same amount.
+func (c *Channel) SubmitUrgent(now simtime.Time, n int64) simtime.Time {
+	if n < 0 {
+		n = 0
+	}
+	t := simtime.TransferTime(n, c.bw*urgentEfficiency)
+	done := now.Add(t)
+	c.busyUntil = simtime.Max(c.busyUntil, now).Add(t)
+	c.moved += n
+	return done
+}
+
+// BusyUntil reports when the channel drains all queued transfers.
+func (c *Channel) BusyUntil() simtime.Time { return c.busyUntil }
+
+// Idle reports whether the channel has drained by instant now.
+func (c *Channel) Idle(now simtime.Time) bool { return c.busyUntil <= now }
+
+// MovedBytes reports the total bytes ever submitted.
+func (c *Channel) MovedBytes() int64 { return c.moved }
+
+// Bandwidth reports the channel's configured bandwidth in bytes/second.
+func (c *Channel) Bandwidth() float64 { return c.bw }
+
+// Reset clears queue state and counters, keeping the bandwidth.
+func (c *Channel) Reset() {
+	c.busyUntil = 0
+	c.moved = 0
+}

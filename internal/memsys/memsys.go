@@ -1,0 +1,218 @@
+// Package memsys models a heterogeneous memory machine: a fast tier (DRAM
+// or GPU HBM) and a slow tier (Optane DC persistent memory or host DRAM
+// reached over PCIe), connected by migration channels with finite bandwidth.
+//
+// The model is deliberately coarse — per-tier read/write bandwidth, access
+// latency, and per-direction migration bandwidth — because those are the
+// quantities the paper's results depend on. Cache hierarchies are not
+// modelled; workloads describe main-memory accesses directly (the paper's
+// profiler likewise counts accesses already filtered by the CPU caches).
+package memsys
+
+import (
+	"fmt"
+
+	"sentinel/internal/simtime"
+)
+
+// Tier identifies one of the two memory tiers.
+type Tier int
+
+const (
+	// Fast is the small, high-bandwidth tier (DRAM or GPU global memory).
+	Fast Tier = iota
+	// Slow is the large, low-bandwidth tier (Optane PMM or host memory).
+	Slow
+)
+
+// String returns "fast" or "slow".
+func (t Tier) String() string {
+	switch t {
+	case Fast:
+		return "fast"
+	case Slow:
+		return "slow"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Other returns the opposite tier.
+func (t Tier) Other() Tier {
+	if t == Fast {
+		return Slow
+	}
+	return Fast
+}
+
+// TierSpec describes one memory tier.
+type TierSpec struct {
+	// Size is the capacity in bytes. The fast tier is the constrained
+	// resource; experiments typically set it to a fraction of a model's
+	// peak memory consumption.
+	Size int64
+	// ReadBW and WriteBW are sustained bandwidths in bytes/second for
+	// accesses served by this tier.
+	ReadBW, WriteBW float64
+	// Latency is the per-access latency; it is charged once per op per
+	// tier touched, approximating the latency component that survives
+	// pipelining.
+	Latency simtime.Duration
+}
+
+// Spec describes a whole machine.
+type Spec struct {
+	Name string
+	Fast TierSpec
+	Slow TierSpec
+	// MigrationBW is the sustained page-migration bandwidth in
+	// bytes/second, per direction. Migrations in the two directions use
+	// independent channels (the runtime uses two helper threads).
+	MigrationBW float64
+	// ComputeRate is the aggregate compute throughput in FLOP/s used by
+	// the roofline op-timing model.
+	ComputeRate float64
+	// FaultCost is the cost of one profiling protection fault (system
+	// call + TLB flush). Charged only during the profiling step.
+	FaultCost simtime.Duration
+	// DemandFaultCost is the cost of a demand page fault (UM-style
+	// on-demand migration), excluding the transfer itself.
+	DemandFaultCost simtime.Duration
+	// SyncCost is the per-migration-interval coordination overhead: at
+	// each interval boundary the runtime synchronizes with its helper
+	// threads, computes the migration set, and issues the move_pages
+	// batches; this work sits on the critical path and is what makes
+	// very short migration intervals expensive (Fig. 5).
+	SyncCost simtime.Duration
+	// OverlapFactor in [0,1] models how much of the smaller roofline
+	// component hides under the larger: op time = max(compute, memory)
+	// + (1-OverlapFactor) * min(compute, memory). Real pipelines never
+	// overlap perfectly; 1.0 would be an ideal roofline.
+	OverlapFactor float64
+	// GPULike reports whether compute can only access the fast tier
+	// (GPU global memory). When true the engine stalls ops until their
+	// pages are resident in fast memory; when false ops access slow
+	// memory in place at SlowBW.
+	GPULike bool
+}
+
+// Validate reports configuration errors that would otherwise surface as
+// absurd simulation results.
+func (s *Spec) Validate() error {
+	if s.Fast.Size <= 0 || s.Slow.Size <= 0 {
+		return fmt.Errorf("memsys: %s: tier sizes must be positive (fast=%d slow=%d)", s.Name, s.Fast.Size, s.Slow.Size)
+	}
+	if s.Fast.ReadBW <= 0 || s.Fast.WriteBW <= 0 || s.Slow.ReadBW <= 0 || s.Slow.WriteBW <= 0 {
+		return fmt.Errorf("memsys: %s: tier bandwidths must be positive", s.Name)
+	}
+	if s.MigrationBW <= 0 {
+		return fmt.Errorf("memsys: %s: migration bandwidth must be positive", s.Name)
+	}
+	if s.ComputeRate <= 0 {
+		return fmt.Errorf("memsys: %s: compute rate must be positive", s.Name)
+	}
+	if s.OverlapFactor < 0 || s.OverlapFactor > 1 {
+		return fmt.Errorf("memsys: %s: overlap factor %.2f outside [0,1]", s.Name, s.OverlapFactor)
+	}
+	return nil
+}
+
+// WithFastSize returns a copy of the spec with the fast tier capacity
+// replaced; used by capacity-sweep experiments.
+func (s Spec) WithFastSize(bytes int64) Spec {
+	s.Fast.Size = bytes
+	return s
+}
+
+// OptaneHM returns the Optane-based CPU platform from the paper's Table II:
+// DDR4 DRAM as fast memory, Optane DC PMM (App Direct mode) as slow memory.
+// Bandwidths reflect published measurements of that platform class under
+// the mixed, many-threaded traffic DNN training generates: DRAM ~100 GB/s
+// read, PMM ~18 GB/s read and ~5 GB/s write (PMM degrades sharply under
+// concurrent mixed access), page migration sustaining ~8 GB/s per
+// direction. ComputeRate is the *effective* training throughput of the
+// dual-socket Xeon, not its peak.
+func OptaneHM() Spec {
+	return Spec{
+		Name: "optane-hm",
+		Fast: TierSpec{
+			Size:    simtime.GiB(192),
+			ReadBW:  100e9,
+			WriteBW: 80e9,
+			Latency: 80 * simtime.Nanosecond,
+		},
+		Slow: TierSpec{
+			Size:    simtime.GiB(1536),
+			ReadBW:  10e9,
+			WriteBW: 3e9,
+			Latency: 300 * simtime.Nanosecond,
+		},
+		MigrationBW:     8e9,
+		ComputeRate:     0.3e12,
+		FaultCost:       800 * simtime.Nanosecond,
+		DemandFaultCost: 4 * simtime.Microsecond,
+		SyncCost:        250 * simtime.Microsecond,
+		OverlapFactor:   0.5,
+		GPULike:         false,
+	}
+}
+
+// GPUHM returns the GPU-based platform from the paper's Table II: an NVIDIA
+// V100's global memory as fast tier and host CPU memory as slow tier,
+// connected by PCIe 3.0 x16 (~13 GB/s effective per direction).
+func GPUHM() Spec {
+	return Spec{
+		Name: "gpu-hm",
+		Fast: TierSpec{
+			Size:    simtime.GiB(16),
+			ReadBW:  900e9,
+			WriteBW: 900e9,
+			Latency: 400 * simtime.Nanosecond,
+		},
+		Slow: TierSpec{
+			Size:    simtime.GiB(384),
+			ReadBW:  13e9, // over PCIe, as seen from the GPU
+			WriteBW: 13e9,
+			Latency: 1200 * simtime.Nanosecond,
+		},
+		MigrationBW:     13e9,
+		ComputeRate:     12e12, // effective V100 training throughput (FP32 w/ tensor-core paths)
+		FaultCost:       3 * simtime.Microsecond,
+		DemandFaultCost: 20 * simtime.Microsecond,
+		SyncCost:        200 * simtime.Microsecond, // stream-event sync
+		OverlapFactor:   0.7,                       // GPUs hide memory latency better
+		GPULike:         true,
+	}
+}
+
+// GPUHM_A100 returns a more recent GPU platform: an A100-40GB's global
+// memory as fast tier and host memory over PCIe 4.0 x16 (~25 GB/s
+// effective) as slow tier. Useful for exploring how the paper's results
+// shift with a faster interconnect and more device memory.
+func GPUHM_A100() Spec {
+	s := GPUHM()
+	s.Name = "gpu-hm-a100"
+	s.Fast.Size = simtime.GiB(40)
+	s.Fast.ReadBW = 1550e9
+	s.Fast.WriteBW = 1550e9
+	s.Slow.ReadBW = 25e9
+	s.Slow.WriteBW = 25e9
+	s.MigrationBW = 25e9
+	s.ComputeRate = 30e12
+	return s
+}
+
+// CXLHM returns a CXL-attached memory expander as the slow tier — the
+// technology that succeeded Optane for memory-capacity expansion. CXL
+// memory has far better write bandwidth and latency than PMM, so the
+// fast/slow gap is narrower; running the paper's experiments on this
+// preset shows how Sentinel's benefit scales down as the tiers converge.
+func CXLHM() Spec {
+	s := OptaneHM()
+	s.Name = "cxl-hm"
+	s.Slow.ReadBW = 28e9
+	s.Slow.WriteBW = 22e9
+	s.Slow.Latency = 250 * simtime.Nanosecond
+	s.MigrationBW = 14e9
+	return s
+}

@@ -1,0 +1,107 @@
+// Package metrics collects per-step and per-run statistics from the
+// execution engine: step latency, where time went (compute, memory,
+// exposed migration, profiling faults, recomputation), and how many bytes
+// moved where. The experiment harness turns these into the paper's tables
+// and figures.
+package metrics
+
+import (
+	"fmt"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/simtime"
+)
+
+// StepStats describes one executed training step.
+type StepStats struct {
+	Step     int
+	Duration simtime.Duration
+	// ComputeTime and MemTime are the roofline components summed over
+	// ops (they overlap; Duration reflects the max per op).
+	ComputeTime simtime.Duration
+	MemTime     simtime.Duration
+	// StallTime is migration time exposed on the critical path:
+	// residency stalls on GPU, explicit synchronous migration on CPU.
+	StallTime simtime.Duration
+	// FaultTime is profiling protection-fault overhead.
+	FaultTime simtime.Duration
+	// RecomputeTime is time spent re-executing ops instead of swapping
+	// (Capuchin).
+	RecomputeTime simtime.Duration
+	// MigratedIn/Out are bytes moved slow->fast / fast->slow.
+	MigratedIn, MigratedOut int64
+	// DemandMigrations counts migrations triggered by an access rather
+	// than a prefetch decision.
+	DemandMigrations int64
+	// FastBytes/SlowBytes are demand bytes served by each tier.
+	FastBytes, SlowBytes int64
+	// Faults counts profiling protection faults.
+	Faults int64
+	// PeakMapped is the peak mapped bytes observed during the step.
+	PeakMapped int64
+	// PeakFastUsed is the peak fast-tier usage observed during the step.
+	PeakFastUsed int64
+	// LayerTime records the duration of each layer.
+	LayerTime []simtime.Duration
+	// LayerComputeTime and LayerMemTime decompose each layer into its
+	// roofline components; Sentinel's performance model uses them to
+	// project layer times onto other tier placements.
+	LayerComputeTime []simtime.Duration
+	LayerMemTime     []simtime.Duration
+	// Trace is the optional bandwidth-over-time trace.
+	Trace *memsys.BWTrace
+}
+
+// MigratedTotal returns total migrated bytes in both directions.
+func (s *StepStats) MigratedTotal() int64 { return s.MigratedIn + s.MigratedOut }
+
+// String summarizes the step for logs.
+func (s *StepStats) String() string {
+	return fmt.Sprintf("step %d: %v (stall %v, fault %v, recompute %v; in %s, out %s; fast %s, slow %s)",
+		s.Step, s.Duration, s.StallTime, s.FaultTime, s.RecomputeTime,
+		simtime.Bytes(s.MigratedIn), simtime.Bytes(s.MigratedOut),
+		simtime.Bytes(s.FastBytes), simtime.Bytes(s.SlowBytes))
+}
+
+// RunStats aggregates the steps of one run.
+type RunStats struct {
+	Policy string
+	Model  string
+	Batch  int
+	Steps  []*StepStats
+}
+
+// SteadyStep returns the last step, which policies have warmed up by;
+// nil if no steps ran.
+func (r *RunStats) SteadyStep() *StepStats {
+	if len(r.Steps) == 0 {
+		return nil
+	}
+	return r.Steps[len(r.Steps)-1]
+}
+
+// SteadyStepTime returns the duration of the last (steady-state) step.
+func (r *RunStats) SteadyStepTime() simtime.Duration {
+	if s := r.SteadyStep(); s != nil {
+		return s.Duration
+	}
+	return 0
+}
+
+// Throughput returns steady-state samples/second for the run's batch size.
+func (r *RunStats) Throughput() float64 {
+	d := r.SteadyStepTime()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.Batch) / d.Seconds()
+}
+
+// TotalTime sums all step durations.
+func (r *RunStats) TotalTime() simtime.Duration {
+	var t simtime.Duration
+	for _, s := range r.Steps {
+		t += s.Duration
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package metrics
+
+import (
+	"testing"
+
+	"sentinel/internal/simtime"
+)
+
+func TestStepStats(t *testing.T) {
+	s := &StepStats{Step: 3, Duration: 100 * simtime.Millisecond, MigratedIn: 10, MigratedOut: 20}
+	if s.MigratedTotal() != 30 {
+		t.Fatalf("migrated total %d", s.MigratedTotal())
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	r := &RunStats{Policy: "p", Model: "m", Batch: 50}
+	if r.SteadyStep() != nil || r.SteadyStepTime() != 0 || r.Throughput() != 0 {
+		t.Fatal("empty run should report zeros")
+	}
+	r.Steps = append(r.Steps,
+		&StepStats{Step: 0, Duration: 2 * simtime.Second},
+		&StepStats{Step: 1, Duration: simtime.Second},
+	)
+	if r.SteadyStep().Step != 1 {
+		t.Fatal("steady step should be the last one")
+	}
+	if r.SteadyStepTime() != simtime.Second {
+		t.Fatal("steady time wrong")
+	}
+	if got := r.Throughput(); got != 50 {
+		t.Fatalf("throughput %v, want 50 samples/s", got)
+	}
+	if r.TotalTime() != 3*simtime.Second {
+		t.Fatal("total time wrong")
+	}
+}

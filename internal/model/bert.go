@@ -1,0 +1,106 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// bertConfig holds transformer hyperparameters.
+type bertConfig struct {
+	layers, hidden, heads, seq, vocab int
+}
+
+var bertConfigs = map[string]bertConfig{
+	"base":  {layers: 12, hidden: 768, heads: 12, seq: 128, vocab: 30522},
+	"large": {layers: 24, hidden: 1024, heads: 16, seq: 384, vocab: 30522},
+}
+
+// BERT builds a BERT training step ("base" or "large"). One annotated layer
+// per transformer encoder block, plus embedding and MLM-head blocks.
+// Attention probability matrices (batch x heads x seq^2) are stored for
+// backward and dominate activation memory at long sequence lengths.
+func BERT(variant string, batch int) (*graph.Graph, error) {
+	cfg, ok := bertConfigs[variant]
+	if !ok {
+		return nil, fmt.Errorf("bert: unknown variant %q (want base or large)", variant)
+	}
+	return bertFromConfig(variant, batch, cfg, cfg.seq)
+}
+
+// bertFromConfig builds the graph for an explicit configuration; posSeq
+// sizes the position-embedding table (the longest bucket when building
+// dynamic-shape variants, so parameters are shared across buckets).
+func bertFromConfig(variant string, batch int, cfg bertConfig, posSeq int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("bert-%s: batch must be positive", variant)
+	}
+	B, h, s := int64(batch), int64(cfg.hidden), int64(cfg.seq)
+	heads, vocab := int64(cfg.heads), int64(cfg.vocab)
+	tok := B * s // tokens per step
+
+	blocks := []BlockSpec{{
+		Name: "embed",
+		Weights: []WeightSpec{
+			{Name: "wordemb", Size: vocab * h * F32, Hot: 1},
+			{Name: "posemb", Size: int64(posSeq) * h * F32, Hot: 4},
+			{Name: "ln", Size: 2 * h * F32, Hot: hotFor(batch)},
+		},
+		OutBytes:     tok * h * F32,
+		MidBytes:     nil,
+		ShortBytes:   []int64{tok * h * F32},
+		ScratchBytes: capWS(tok * 8), // gathered token ids
+		TinyScratch:  14,
+		FLOPs:        float64(tok * h * 8),
+	}}
+
+	attnW := 4 * h * h * F32         // Q, K, V, output projections
+	ffnW := 2 * 4 * h * h * F32      // two 4x expansion matrices
+	probs := B * heads * s * s * F32 // attention probabilities
+	qkv := tok * 3 * h * F32
+	ffnMid := tok * 4 * h * F32
+	for i := 0; i < cfg.layers; i++ {
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("enc%d", i),
+			Weights: []WeightSpec{
+				{Name: "proj", Size: attnW + ffnW, Hot: 1},
+				{Name: "ln1", Size: 2 * h * F32, Hot: hotFor(batch)},
+				{Name: "ln2", Size: 2 * h * F32, Hot: hotFor(batch)},
+				{Name: "bias", Size: 10 * h * F32, Hot: hotFor(batch) / 2},
+			},
+			OutBytes: tok * h * F32,
+			// Stored for backward: QKV, attention probs, FFN mid.
+			MidBytes:     []int64{qkv, probs, ffnMid},
+			ShortBytes:   []int64{tok * h * F32, tok * h * F32},
+			ScratchBytes: capWS(probs / 2), // softmax workspace
+			TinyScratch:  24,
+			Sweeps:       4,
+			FLOPs: float64(2*tok*(4*h*h+8*h*h) + // projections + FFN
+				4*B*heads*s*s*(h/heads)), // QK^T and probs*V
+		})
+	}
+
+	blocks = append(blocks, BlockSpec{
+		Name: "mlm_head",
+		Weights: []WeightSpec{
+			{Name: "proj", Size: h * h * F32, Hot: 1},
+			{Name: "ln", Size: 2 * h * F32, Hot: hotFor(batch)},
+		},
+		OutBytes:     tok * h * F32,
+		MidBytes:     []int64{tok * h * F32},
+		ShortBytes:   nil,
+		ScratchBytes: capWS(tok * h * F32 / 4),
+		TinyScratch:  14,
+		FLOPs:        float64(2 * tok * h * h),
+	})
+
+	return BuildChain(ChainSpec{
+		Model: "bert-" + variant,
+		Batch: batch,
+		// The token-id buffer is sized for the longest bucket so
+		// dynamic-shape variants can share it.
+		InputBytes: B * int64(posSeq) * 8,
+		Blocks:     blocks,
+		LossFLOPs:  float64(2 * tok * h * 4), // sampled-vocab loss
+	})
+}

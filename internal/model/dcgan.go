@@ -1,0 +1,79 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// DCGAN builds one DCGAN training step on 64x64 images: the generator's
+// transposed-conv stack followed by the discriminator's conv stack (one
+// iteration trains both; the chain models the combined graph the way the
+// reference TensorFlow implementation schedules it).
+func DCGAN(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("dcgan: batch must be positive")
+	}
+	B := int64(batch)
+
+	// Generator: z(100) -> 4x4x1024 -> 8x8x512 -> 16x16x256 -> 32x32x128
+	// -> 64x64x3.
+	gen := []struct {
+		cin, cout, spatial int
+	}{
+		{100, 1024, 4}, {1024, 512, 8}, {512, 256, 16}, {256, 128, 32}, {128, 3, 64},
+	}
+	// Discriminator: 64x64x3 -> 32x32x64 -> 16x16x128 -> 8x8x256 ->
+	// 4x4x512 -> logit.
+	disc := []struct {
+		cin, cout, spatial int
+	}{
+		{3, 64, 32}, {64, 128, 16}, {128, 256, 8}, {256, 512, 4},
+	}
+
+	var blocks []BlockSpec
+	for i, g := range gen {
+		ci, co, s := int64(g.cin), int64(g.cout), int64(g.spatial)
+		act := s * s * co * B * F32
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("g.deconv%d", i),
+			Weights: []WeightSpec{
+				{Name: "w", Size: 25 * ci * co * F32, Hot: weightHot(25*ci*co*F32, batch)}, // 5x5 kernels
+				{Name: "bn", Size: 4 * co * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     act,
+			MidBytes:     []int64{act},
+			ShortBytes:   []int64{act},
+			ScratchBytes: capWS(act / 2),
+			TinyScratch:  18,
+			Sweeps:       4,
+			FLOPs:        float64(2 * 25 * ci * co * s * s * B),
+		})
+	}
+	for i, d := range disc {
+		ci, co, s := int64(d.cin), int64(d.cout), int64(d.spatial)
+		act := s * s * co * B * F32
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("d.conv%d", i),
+			Weights: []WeightSpec{
+				{Name: "w", Size: 25 * ci * co * F32, Hot: weightHot(25*ci*co*F32, batch)},
+				{Name: "bn", Size: 4 * co * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     act,
+			MidBytes:     []int64{act},
+			ShortBytes:   []int64{act},
+			ScratchBytes: capWS(act / 2),
+			TinyScratch:  18,
+			Sweeps:       4,
+			FLOPs:        float64(2 * 25 * ci * co * s * s * B),
+		})
+	}
+
+	return BuildChain(ChainSpec{
+		Model:      "dcgan",
+		Batch:      batch,
+		InputBytes: 64 * 64 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(B * 1024),
+	})
+}

@@ -1,0 +1,126 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// Dynamic-graph support (paper Sec. IV-E). Frameworks with dynamic shapes
+// generate a different dataflow graph per input shape; Sentinel bucketizes
+// input sizes (at most ten buckets) and profiles each bucket once. The
+// builders here emit one graph per bucket with an identical preallocated
+// tensor layout (weights are shared across variants; only mid-training
+// tensors differ), which is what lets the runtime swap graphs between
+// steps without re-allocating parameters.
+
+// maxBuckets is the paper's cap on profiling buckets.
+const maxBuckets = 10
+
+// BERTBuckets builds one BERT training graph per sequence-length bucket.
+// All buckets share the same parameter layout (position embeddings are
+// sized for the longest bucket), so a runtime can alternate between them.
+func BERTBuckets(variant string, batch int, seqs []int) ([]*graph.Graph, error) {
+	cfg, ok := bertConfigs[variant]
+	if !ok {
+		return nil, fmt.Errorf("bert buckets: unknown variant %q", variant)
+	}
+	if len(seqs) == 0 || len(seqs) > maxBuckets {
+		return nil, fmt.Errorf("bert buckets: want 1..%d buckets, got %d", maxBuckets, len(seqs))
+	}
+	maxSeq := 0
+	for _, s := range seqs {
+		if s <= 0 {
+			return nil, fmt.Errorf("bert buckets: non-positive sequence length %d", s)
+		}
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	var graphs []*graph.Graph
+	for i, seq := range seqs {
+		c := cfg
+		c.seq = seq
+		g, err := bertFromConfig(variant, batch, c, maxSeq)
+		if err != nil {
+			return nil, err
+		}
+		g.Model = fmt.Sprintf("bert-%s/seq%d", variant, seq)
+		g.Variant = i
+		graphs = append(graphs, g)
+	}
+	return graphs, nil
+}
+
+// ControlVariants builds dataflow variants of a CIFAR ResNet with
+// stochastic-depth style control dependencies: variant v executes a
+// different subset of residual blocks (weights for every block exist in
+// all variants). A new variant is a new dataflow the runtime has not
+// profiled — exactly the case Sec. IV-E's control-dependency handling
+// covers.
+func ControlVariants(depth, batch, variants int) ([]*graph.Graph, error) {
+	if variants <= 0 || variants > maxBuckets {
+		return nil, fmt.Errorf("control variants: want 1..%d, got %d", maxBuckets, variants)
+	}
+	var graphs []*graph.Graph
+	for v := 0; v < variants; v++ {
+		g, err := resnetCIFARVariant(depth, batch, v)
+		if err != nil {
+			return nil, err
+		}
+		g.Variant = v
+		graphs = append(graphs, g)
+	}
+	return graphs, nil
+}
+
+// resnetCIFARVariant builds the CIFAR ResNet with block (3+v) mod n of
+// each stage executing in pass-through mode (its residual branch skipped):
+// the weights still exist, the dataflow differs.
+func resnetCIFARVariant(depth, batch, v int) (*graph.Graph, error) {
+	if depth < 8 || (depth-2)%6 != 0 {
+		return nil, fmt.Errorf("control variants: unsupported depth %d", depth)
+	}
+	n := (depth - 2) / 6
+	B := int64(batch)
+	blocks := []BlockSpec{stemBlock(3, 16, 32, B)}
+	for si, st := range cifarStages {
+		c, s := int64(st.channels), int64(st.spatial)
+		for bi := 0; bi < n; bi++ {
+			act := s * s * c * B * F32
+			wMain := 2 * 9 * c * c * F32
+			blk := BlockSpec{
+				Name: fmt.Sprintf("s%d.b%d", si+1, bi),
+				Weights: []WeightSpec{
+					{Name: "conv", Size: wMain, Hot: weightHot(wMain, batch)},
+					{Name: "bn.scale", Size: 2 * c * F32, Hot: hotFor(batch)},
+					{Name: "bn.shift", Size: 2 * c * F32, Hot: hotFor(batch)},
+				},
+				OutBytes:     act,
+				MidBytes:     []int64{act, act},
+				ShortBytes:   []int64{act},
+				ScratchBytes: capWS(act / 2),
+				TinyScratch:  16,
+				FLOPs:        float64(2 * 2 * 9 * c * c * s * s * B),
+			}
+			// Variant v drops the residual branch of one block per
+			// stage: the block becomes a cheap pass-through whose
+			// stored intermediates vanish from the dataflow.
+			if v > 0 && bi == (3+v)%n {
+				blk.MidBytes = nil
+				blk.ShortBytes = nil
+				blk.ScratchBytes = 4096
+				blk.FLOPs = float64(act)
+			}
+			blocks = append(blocks, blk)
+		}
+	}
+	blocks = append(blocks, headBlock(64, 10, 8, B))
+	return BuildChain(ChainSpec{
+		Model:      fmt.Sprintf("resnet%d/v%d", depth, v),
+		Batch:      batch,
+		InputBytes: 32 * 32 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(10 * B * 16),
+	})
+}

@@ -1,0 +1,247 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// Additional architectures beyond the paper's five evaluation models —
+// useful when exercising the library on different memory profiles: VGG's
+// huge dense layers, Inception's wide mixed blocks, a GPT-style decoder's
+// uniform transformer stack, and U-Net's skip connections with very large
+// early feature maps.
+
+// vggBlocks lists VGG-16's conv stages: (channels out, spatial out, convs).
+var vggBlocks = []struct {
+	cout, spatial, convs int
+}{
+	{64, 224, 2}, {128, 112, 2}, {256, 56, 3}, {512, 28, 3}, {512, 14, 3},
+}
+
+// VGG16 builds a VGG-16 training step on 224x224 inputs: modest depth,
+// enormous dense layers (the fc weights dominate parameter memory — a very
+// different migration profile from ResNet).
+func VGG16(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("vgg16: batch must be positive")
+	}
+	B := int64(batch)
+	var blocks []BlockSpec
+	cin := int64(3)
+	for i, vb := range vggBlocks {
+		co, s := int64(vb.cout), int64(vb.spatial)
+		act := s * s * co * B * F32
+		w := int64(vb.convs) * 9 * cin * co * F32
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("conv%d", i+1),
+			Weights: []WeightSpec{
+				{Name: "w", Size: w, Hot: weightHot(w, batch)},
+				{Name: "bias", Size: co * F32 * int64(vb.convs), Hot: hotFor(batch)},
+			},
+			OutBytes:     act,
+			MidBytes:     []int64{act},
+			ShortBytes:   []int64{act},
+			ScratchBytes: capWS(act / 2),
+			TinyScratch:  12,
+			FLOPs:        float64(2 * int64(vb.convs) * 9 * cin * co * s * s * B),
+		})
+		cin = co
+	}
+	// The three dense layers: 25088x4096, 4096x4096, 4096x1000.
+	dense := []struct{ in, out int64 }{{25088, 4096}, {4096, 4096}, {4096, 1000}}
+	for i, d := range dense {
+		w := d.in * d.out * F32
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("fc%d", i+1),
+			Weights: []WeightSpec{
+				{Name: "w", Size: w, Hot: 1},
+				{Name: "bias", Size: d.out * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     d.out * B * F32,
+			MidBytes:     []int64{d.in * B * F32},
+			ShortBytes:   nil,
+			ScratchBytes: capWS(d.out * B * F32),
+			TinyScratch:  8,
+			Sweeps:       2,
+			FLOPs:        float64(2 * d.in * d.out * B),
+		})
+	}
+	return BuildChain(ChainSpec{
+		Model:      "vgg16",
+		Batch:      batch,
+		InputBytes: 224 * 224 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(1000 * B * 16),
+	})
+}
+
+// inceptionStages approximates Inception-v3's mixed blocks: (channels,
+// spatial, count).
+var inceptionStages = []struct {
+	channels, spatial, count int
+}{
+	{192, 35, 1}, {288, 35, 3}, {768, 17, 5}, {1280, 8, 3},
+}
+
+// Inception builds an Inception-v3-style training step: wide blocks with
+// several parallel branches, emitting many medium intermediates per layer.
+func Inception(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("inception: batch must be positive")
+	}
+	B := int64(batch)
+	blocks := []BlockSpec{stemBlock(3, 32, 149, B)}
+	for si, st := range inceptionStages {
+		c, s := int64(st.channels), int64(st.spatial)
+		for bi := 0; bi < st.count; bi++ {
+			act := s * s * c * B * F32
+			// Branch weights: 1x1s plus factorized 7x1/1x7 kernels.
+			w := (c*c/2 + 7*c*c/4) * F32
+			blocks = append(blocks, BlockSpec{
+				Name: fmt.Sprintf("mixed%d.%d", si, bi),
+				Weights: []WeightSpec{
+					{Name: "w", Size: w, Hot: weightHot(w, batch)},
+					{Name: "bn", Size: 4 * c * F32, Hot: hotFor(batch)},
+				},
+				OutBytes: act,
+				// Branch outputs concatenated: stored per-branch
+				// intermediates of ~act/4 each.
+				MidBytes:     []int64{act / 4, act / 4, act / 2},
+				ShortBytes:   []int64{act},
+				ScratchBytes: capWS(act / 2),
+				TinyScratch:  14, // many branch/concat temporaries
+				FLOPs:        float64(2 * w / F32 * s * s * B / 4),
+			})
+		}
+	}
+	blocks = append(blocks, headBlock(1280, 1000, 8, B))
+	return BuildChain(ChainSpec{
+		Model:      "inception",
+		Batch:      batch,
+		InputBytes: 299 * 299 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(1000 * B * 16),
+	})
+}
+
+// GPT2 builds a GPT-2-style decoder training step ("small": 12 layers,
+// hidden 768; "medium": 24 layers, hidden 1024), sequence length 1024 —
+// the large-language-model workload the paper's introduction motivates.
+func GPT2(variant string, batch int) (*graph.Graph, error) {
+	var layers, hidden, heads int
+	switch variant {
+	case "small":
+		layers, hidden, heads = 12, 768, 12
+	case "medium":
+		layers, hidden, heads = 24, 1024, 16
+	default:
+		return nil, fmt.Errorf("gpt2: unknown variant %q (want small or medium)", variant)
+	}
+	if batch <= 0 {
+		return nil, fmt.Errorf("gpt2-%s: batch must be positive", variant)
+	}
+	const seq = 1024
+	const vocab = 50257
+	B, h, s := int64(batch), int64(hidden), int64(seq)
+	tok := B * s
+
+	blocks := []BlockSpec{{
+		Name: "embed",
+		Weights: []WeightSpec{
+			{Name: "wte", Size: vocab * h * F32, Hot: 1},
+			{Name: "wpe", Size: s * h * F32, Hot: 2},
+		},
+		OutBytes:     tok * h * F32,
+		ShortBytes:   []int64{tok * h * F32},
+		ScratchBytes: capWS(tok * 8),
+		TinyScratch:  8,
+		FLOPs:        float64(tok * h * 8),
+	}}
+	probs := B * int64(heads) * s * s * F32 / 2 // causal mask halves the stored triangle
+	for i := 0; i < layers; i++ {
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("h%d", i),
+			Weights: []WeightSpec{
+				{Name: "attn+mlp", Size: 12 * h * h * F32, Hot: 1},
+				{Name: "ln", Size: 4 * h * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     tok * h * F32,
+			MidBytes:     []int64{tok * 3 * h * F32, probs, tok * 4 * h * F32},
+			ShortBytes:   []int64{tok * h * F32, tok * h * F32},
+			ScratchBytes: capWS(probs / 2),
+			TinyScratch:  16,
+			Sweeps:       4,
+			FLOPs: float64(2*tok*12*h*h +
+				4*B*int64(heads)*s*s*(h/int64(heads))/2),
+		})
+	}
+	blocks = append(blocks, BlockSpec{
+		Name: "lm_head",
+		Weights: []WeightSpec{
+			{Name: "ln_f", Size: 2 * h * F32, Hot: hotFor(batch)},
+		},
+		OutBytes:     tok * h * F32,
+		MidBytes:     []int64{tok * h * F32},
+		ScratchBytes: capWS(tok * h * F32 / 4),
+		TinyScratch:  8,
+		FLOPs:        float64(2 * tok * h * vocab / 16), // sampled softmax
+	})
+	return BuildChain(ChainSpec{
+		Model:      "gpt2-" + variant,
+		Batch:      batch,
+		InputBytes: tok * 8,
+		Blocks:     blocks,
+		LossFLOPs:  float64(tok * vocab / 16 * 4),
+	})
+}
+
+// UNet builds a U-Net training step on 256x256 inputs: an encoder-decoder
+// with skip connections, whose early feature maps are enormous and live
+// across almost the whole step (the skips) — a stress test for eviction
+// scheduling.
+func UNet(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("unet: batch must be positive")
+	}
+	B := int64(batch)
+	type stage struct{ c, s int64 }
+	enc := []stage{{64, 256}, {128, 128}, {256, 64}, {512, 32}, {1024, 16}}
+	var blocks []BlockSpec
+	add := func(name string, cin, cout, s int64, tiny int) {
+		act := s * s * cout * B * F32
+		w := 2 * 9 * cin * cout * F32
+		blocks = append(blocks, BlockSpec{
+			Name: name,
+			Weights: []WeightSpec{
+				{Name: "w", Size: w, Hot: weightHot(w, batch)},
+				{Name: "bn", Size: 4 * cout * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     act,
+			MidBytes:     []int64{act},
+			ShortBytes:   []int64{act},
+			ScratchBytes: capWS(act / 2),
+			TinyScratch:  tiny,
+			FLOPs:        float64(2 * 2 * 9 * cin * cout * s * s * B),
+		})
+	}
+	cin := int64(3)
+	for i, st := range enc {
+		add(fmt.Sprintf("enc%d", i), cin, st.c, st.s, 12)
+		cin = st.c
+	}
+	for i := len(enc) - 2; i >= 0; i-- {
+		st := enc[i]
+		// Decoder consumes the upsampled features concatenated with the
+		// skip (the encoder output is stored until here by the graph's
+		// lifetime machinery).
+		add(fmt.Sprintf("dec%d", i), 2*st.c, st.c, st.s, 12)
+	}
+	return BuildChain(ChainSpec{
+		Model:      "unet",
+		Batch:      batch,
+		InputBytes: 256 * 256 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(256 * 256 * B * 8),
+	})
+}

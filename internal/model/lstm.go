@@ -1,0 +1,88 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// LSTM builds a stacked-LSTM language-model training step (the TensorFlow
+// tutorial configuration class: 2 layers, 1500 hidden units, 35 unrolled
+// time steps, 10k vocabulary). Each LSTM layer stores its per-timestep
+// hidden states and gate activations for backpropagation through time; the
+// per-timestep cell updates generate many small short-lived tensors.
+func LSTM(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("lstm: batch must be positive")
+	}
+	const (
+		layers = 2
+		hidden = 1000
+		steps  = 64
+		vocab  = 10000
+	)
+	B, h, T, V := int64(batch), int64(hidden), int64(steps), int64(vocab)
+
+	blocks := []BlockSpec{{
+		Name: "embed",
+		Weights: []WeightSpec{
+			{Name: "emb", Size: V * h * F32, Hot: 1},
+		},
+		OutBytes:     B * T * h * F32,
+		ShortBytes:   []int64{B * T * h * F32},
+		ScratchBytes: capWS(B * T * 8),
+		TinyScratch:  14,
+		FLOPs:        float64(B * T * h * 4),
+	}}
+
+	// Each LSTM layer is unrolled over time; the add_layer annotation is
+	// placed every T/chunks timesteps, giving the migration machinery
+	// finer intervals than whole layers would.
+	const chunks = 4
+	Tc := T / chunks
+	for i := 0; i < layers; i++ {
+		for c := 0; c < chunks; c++ {
+			// Four gates over [input, hidden] -> 8 h^2 weights,
+			// shared across the layer; re-registered per chunk the
+			// way TF unrolls share variables.
+			blocks = append(blocks, BlockSpec{
+				Name: fmt.Sprintf("lstm%d.t%d", i, c),
+				Weights: []WeightSpec{
+					{Name: "gates", Size: 8 * h * h * F32 / chunks, Hot: 1},
+					{Name: "bias", Size: 4 * h * F32, Hot: hotFor(batch)},
+				},
+				OutBytes: B * Tc * h * F32, // hidden states of the chunk
+				// Gate pre-activations stored for BPTT; cell states.
+				MidBytes:     []int64{B * Tc * 4 * h * F32, B * Tc * h * F32},
+				ShortBytes:   []int64{B * h * 4 * F32, B * h * 4 * F32},
+				ScratchBytes: capWS(B * 4 * h * F32),
+				// Per-timestep elementwise ops spawn many tiny tensors.
+				TinyScratch: 24,
+				Sweeps:      3,
+				FLOPs:       float64(2 * 8 * h * h * B * Tc),
+			})
+		}
+	}
+
+	blocks = append(blocks, BlockSpec{
+		Name: "softmax",
+		Weights: []WeightSpec{
+			{Name: "proj", Size: h * V * F32, Hot: 1},
+			{Name: "bias", Size: V * F32, Hot: hotFor(batch) / 2},
+		},
+		OutBytes:     B * T * V * F32 / 8, // sampled softmax logits
+		MidBytes:     []int64{B * T * h * F32},
+		ShortBytes:   nil,
+		ScratchBytes: capWS(B * T * V * F32 / 16),
+		TinyScratch:  18,
+		FLOPs:        float64(2 * h * V * B * T / 8),
+	})
+
+	return BuildChain(ChainSpec{
+		Model:      "lstm",
+		Batch:      batch,
+		InputBytes: B * T * 8,
+		Blocks:     blocks,
+		LossFLOPs:  float64(B * T * V / 8 * 4),
+	})
+}

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// mobilenetBlocks lists MobileNetV1's depthwise-separable stages:
+// (input channels, output channels, output spatial size).
+var mobilenetBlocks = []struct {
+	cin, cout, spatial int
+}{
+	{32, 64, 112},
+	{64, 128, 56}, {128, 128, 56},
+	{128, 256, 28}, {256, 256, 28},
+	{256, 512, 14}, {512, 512, 14}, {512, 512, 14}, {512, 512, 14}, {512, 512, 14}, {512, 512, 14},
+	{512, 1024, 7}, {1024, 1024, 7},
+}
+
+// MobileNet builds a MobileNetV1 training step on 224x224 inputs. Its
+// depthwise-separable blocks have tiny weights but large activations — a
+// population skewed even further toward small hot parameter tensors.
+func MobileNet(batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("mobilenet: batch must be positive")
+	}
+	B := int64(batch)
+	blocks := []BlockSpec{stemBlock(3, 32, 112, B)}
+	for i, mb := range mobilenetBlocks {
+		ci, co, s := int64(mb.cin), int64(mb.cout), int64(mb.spatial)
+		act := s * s * co * B * F32
+		mid := s * s * ci * B * F32 // depthwise output
+		// BN+ReLU are fused into the conv on large maps (as XLA/oneDNN
+		// do); only small maps materialize a separate normalized copy.
+		var shorts []int64
+		if act < 64<<20 {
+			shorts = []int64{act}
+		}
+		// Depthwise 3x3 (9*ci) + pointwise 1x1 (ci*co).
+		wMain := (9*ci + ci*co) * F32
+		blocks = append(blocks, BlockSpec{
+			Name: fmt.Sprintf("dws%d", i),
+			Weights: []WeightSpec{
+				{Name: "conv", Size: wMain, Hot: weightHot(wMain, batch)},
+				{Name: "bn.dw", Size: 2 * ci * F32, Hot: hotFor(batch)},
+				{Name: "bn.pw", Size: 2 * co * F32, Hot: hotFor(batch)},
+			},
+			OutBytes:     act,
+			MidBytes:     []int64{mid, act},
+			ShortBytes:   shorts,
+			ScratchBytes: capWS(mid / 4),
+			TinyScratch:  20,
+			FLOPs:        float64(2 * (9*ci + ci*co) * s * s * B),
+		})
+	}
+	blocks = append(blocks, headBlock(1024, 1000, 7, B))
+	return BuildChain(ChainSpec{
+		Model:      "mobilenet",
+		Batch:      batch,
+		InputBytes: 224 * 224 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(1000 * B * 16),
+	})
+}

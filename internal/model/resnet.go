@@ -1,0 +1,189 @@
+package model
+
+import (
+	"fmt"
+
+	"sentinel/internal/graph"
+)
+
+// hotFor returns the main-memory access count for a small per-channel
+// parameter tensor: touched once per batch slice, these accumulate the
+// >100-access counts of the paper's hot small tensors.
+func hotFor(batch int) int {
+	h := batch / 2
+	if h < 8 {
+		h = 8
+	}
+	if h > 256 {
+		h = 256
+	}
+	return h
+}
+
+// capWorkspace bounds per-op im2col workspaces the way cuDNN/oneDNN
+// workspace limits do.
+const capWorkspaceBytes = int64(96) << 20
+
+func capWS(n int64) int64 {
+	if n > capWorkspaceBytes {
+		return capWorkspaceBytes
+	}
+	if n < 4096 {
+		return 4096
+	}
+	return n
+}
+
+// cifarStages describes the CIFAR-10 ResNet family (depth = 6n+2): three
+// stages of n residual blocks at 32/16/8 spatial resolution.
+var cifarStages = []struct {
+	channels int
+	spatial  int
+}{{16, 32}, {32, 16}, {64, 8}}
+
+// imagenetConfigs maps ImageNet ResNet depths to per-stage bottleneck
+// block counts.
+var imagenetConfigs = map[int][4]int{
+	50:  {3, 4, 6, 3},
+	101: {3, 4, 23, 3},
+	152: {3, 8, 36, 3},
+	200: {3, 24, 36, 3},
+}
+
+var imagenetStages = []struct {
+	channels int
+	spatial  int
+}{{256, 56}, {512, 28}, {1024, 14}, {2048, 7}}
+
+// ResNet builds a ResNet training step. CIFAR-style depths (6n+2: 20, 32,
+// 44, 56, 110) use basic blocks on 32x32 inputs; ImageNet depths (50, 101,
+// 152, 200) use bottleneck blocks on 224x224 inputs. One annotated layer
+// per residual block, matching the paper's add_layer granularity.
+func ResNet(depth, batch int) (*graph.Graph, error) {
+	if batch <= 0 {
+		return nil, fmt.Errorf("resnet%d: batch must be positive", depth)
+	}
+	if cfg, ok := imagenetConfigs[depth]; ok {
+		return resnetImageNet(depth, batch, cfg)
+	}
+	if depth < 8 || (depth-2)%6 != 0 {
+		return nil, fmt.Errorf("resnet: unsupported depth %d (want 6n+2 or one of 50/101/152/200)", depth)
+	}
+	return resnetCIFAR(depth, batch)
+}
+
+func resnetCIFAR(depth, batch int) (*graph.Graph, error) {
+	n := (depth - 2) / 6
+	B := int64(batch)
+	blocks := []BlockSpec{stemBlock(3, 16, 32, B)}
+	// The add_layer annotation goes on every convolution, not every
+	// residual block — the paper instruments each of the 6n+2 layers, so
+	// each basic block contributes two annotated layers.
+	for si, st := range cifarStages {
+		c, s := int64(st.channels), int64(st.spatial)
+		for bi := 0; bi < 2*n; bi++ {
+			act := s * s * c * B * F32
+			wMain := 9 * c * c * F32
+			blocks = append(blocks, BlockSpec{
+				Name: fmt.Sprintf("s%d.c%d", si+1, bi),
+				Weights: []WeightSpec{
+					{Name: "conv", Size: wMain, Hot: weightHot(wMain, batch)},
+					{Name: "bn.scale", Size: c * F32, Hot: hotFor(batch)},
+					{Name: "bn.shift", Size: c * F32, Hot: hotFor(batch)},
+				},
+				OutBytes:     act,
+				MidBytes:     []int64{act},
+				ShortBytes:   []int64{act},
+				ScratchBytes: capWS(act / 2),
+				TinyScratch:  8,
+				FLOPs:        float64(2 * 9 * c * c * s * s * B),
+			})
+		}
+	}
+	blocks = append(blocks, headBlock(64, 10, 8, B))
+	return BuildChain(ChainSpec{
+		Model:      fmt.Sprintf("resnet%d", depth),
+		Batch:      batch,
+		InputBytes: 32 * 32 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(10 * B * 16),
+	})
+}
+
+func resnetImageNet(depth, batch int, cfg [4]int) (*graph.Graph, error) {
+	B := int64(batch)
+	blocks := []BlockSpec{stemBlock(3, 64, 112, B)}
+	for si, st := range imagenetStages {
+		c, s := int64(st.channels), int64(st.spatial)
+		inner := c / 4
+		for bi := 0; bi < cfg[si]; bi++ {
+			act := s * s * c * B * F32
+			mid := s * s * inner * B * F32
+			// Bottleneck: 1x1 down, 3x3, 1x1 up.
+			wMain := (c*inner + 9*inner*inner + inner*c) * F32
+			blocks = append(blocks, BlockSpec{
+				Name: fmt.Sprintf("s%d.b%d", si+1, bi),
+				Weights: []WeightSpec{
+					{Name: "conv", Size: wMain, Hot: weightHot(wMain, batch)},
+					{Name: "bn.scale", Size: 3 * inner * F32, Hot: hotFor(batch)},
+					{Name: "bn.shift", Size: 3 * inner * F32, Hot: hotFor(batch)},
+				},
+				OutBytes:     act,
+				MidBytes:     []int64{2 * mid, act},
+				ShortBytes:   []int64{mid},
+				ScratchBytes: capWS(mid / 2),
+				TinyScratch:  18,
+				FLOPs:        float64(2 * (c*inner + 9*inner*inner + inner*c) * s * s * B),
+			})
+		}
+	}
+	blocks = append(blocks, headBlock(2048, 1000, 7, B))
+	return BuildChain(ChainSpec{
+		Model:      fmt.Sprintf("resnet%d", depth),
+		Batch:      batch,
+		InputBytes: 224 * 224 * 3 * B * F32,
+		Blocks:     blocks,
+		LossFLOPs:  float64(1000 * B * 16),
+	})
+}
+
+// stemBlock is the input convolution.
+func stemBlock(cin, cout, spatial int, B int64) BlockSpec {
+	c, co, s := int64(cin), int64(cout), int64(spatial)
+	act := s * s * co * B * F32
+	shorts := []int64{act}
+	if act >= 64<<20 {
+		shorts = nil // BN+ReLU fused into the conv on large maps
+	}
+	return BlockSpec{
+		Name: "stem",
+		Weights: []WeightSpec{
+			{Name: "conv", Size: 9 * c * co * F32, Hot: weightHot(9*c*co*F32, int(B))},
+			{Name: "bn", Size: 4 * co * F32, Hot: hotFor(int(B))},
+		},
+		OutBytes:     act,
+		MidBytes:     []int64{act},
+		ShortBytes:   shorts,
+		ScratchBytes: capWS(act / 4),
+		TinyScratch:  12,
+		FLOPs:        float64(2 * 9 * c * co * s * s * B),
+	}
+}
+
+// headBlock is global pooling plus the classifier.
+func headBlock(cin, classes, spatial int, B int64) BlockSpec {
+	c, k, s := int64(cin), int64(classes), int64(spatial)
+	return BlockSpec{
+		Name: "head",
+		Weights: []WeightSpec{
+			{Name: "fc", Size: c * k * F32, Hot: weightHot(c*k*F32, int(B))},
+			{Name: "fc.bias", Size: k * F32, Hot: hotFor(int(B))},
+		},
+		OutBytes:     k * B * F32,
+		MidBytes:     []int64{c * B * F32}, // pooled features
+		ShortBytes:   nil,
+		ScratchBytes: capWS(s * s * c * B * F32 / 8),
+		TinyScratch:  16,
+		FLOPs:        float64(2 * c * k * B),
+	}
+}

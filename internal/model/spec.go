@@ -1,0 +1,115 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sentinel/internal/graph"
+)
+
+// JSON workload specs let users run the runtime on their own model shapes
+// without writing Go: a ChainSpec serialized as JSON, loaded with LoadSpec
+// and passed to cmd/sentinel-train via -spec.
+//
+// Example:
+//
+//	{
+//	  "model": "my-net", "batch": 32, "input_bytes": 602112,
+//	  "blocks": [
+//	    {"name": "conv1", "out_bytes": 12845056, "flops": 2.1e9,
+//	     "weights": [{"name": "w", "size": 9408, "hot": 64}],
+//	     "mid_bytes": [12845056], "tiny_scratch": 8}
+//	  ],
+//	  "loss_flops": 1e6
+//	}
+
+// specJSON mirrors ChainSpec with JSON tags and per-sample scaling left to
+// the author (sizes are absolute bytes for the given batch).
+type specJSON struct {
+	Model      string      `json:"model"`
+	Batch      int         `json:"batch"`
+	InputBytes int64       `json:"input_bytes"`
+	Blocks     []blockJSON `json:"blocks"`
+	LossFLOPs  float64     `json:"loss_flops"`
+}
+
+type blockJSON struct {
+	Name         string       `json:"name"`
+	Weights      []weightJSON `json:"weights"`
+	OutBytes     int64        `json:"out_bytes"`
+	MidBytes     []int64      `json:"mid_bytes,omitempty"`
+	ShortBytes   []int64      `json:"short_bytes,omitempty"`
+	ScratchBytes int64        `json:"scratch_bytes,omitempty"`
+	TinyScratch  int          `json:"tiny_scratch,omitempty"`
+	Sweeps       int          `json:"sweeps,omitempty"`
+	FLOPs        float64      `json:"flops"`
+}
+
+type weightJSON struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	Hot  int    `json:"hot,omitempty"`
+}
+
+// LoadSpec reads a JSON workload spec and builds its training-step graph.
+func LoadSpec(r io.Reader) (*graph.Graph, error) {
+	var sj specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return nil, fmt.Errorf("model spec: %w", err)
+	}
+	if sj.Model == "" {
+		return nil, fmt.Errorf("model spec: missing model name")
+	}
+	if sj.Batch <= 0 {
+		return nil, fmt.Errorf("model spec: batch must be positive")
+	}
+	if sj.InputBytes <= 0 {
+		return nil, fmt.Errorf("model spec: input_bytes must be positive")
+	}
+	if len(sj.Blocks) == 0 {
+		return nil, fmt.Errorf("model spec: no blocks")
+	}
+	cs := ChainSpec{
+		Model:      sj.Model,
+		Batch:      sj.Batch,
+		InputBytes: sj.InputBytes,
+		LossFLOPs:  sj.LossFLOPs,
+	}
+	for bi, bj := range sj.Blocks {
+		if bj.Name == "" {
+			return nil, fmt.Errorf("model spec: block %d has no name", bi)
+		}
+		if len(bj.Weights) == 0 {
+			return nil, fmt.Errorf("model spec: block %q has no weights", bj.Name)
+		}
+		if bj.OutBytes <= 0 {
+			return nil, fmt.Errorf("model spec: block %q: out_bytes must be positive", bj.Name)
+		}
+		blk := BlockSpec{
+			Name:         bj.Name,
+			OutBytes:     bj.OutBytes,
+			MidBytes:     bj.MidBytes,
+			ShortBytes:   bj.ShortBytes,
+			ScratchBytes: bj.ScratchBytes,
+			TinyScratch:  bj.TinyScratch,
+			Sweeps:       bj.Sweeps,
+			FLOPs:        bj.FLOPs,
+		}
+		for _, wj := range bj.Weights {
+			hot := wj.Hot
+			if hot <= 0 {
+				hot = 1
+			}
+			blk.Weights = append(blk.Weights, WeightSpec{Name: wj.Name, Size: wj.Size, Hot: hot})
+		}
+		cs.Blocks = append(cs.Blocks, blk)
+	}
+	g, err := BuildChain(cs)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}

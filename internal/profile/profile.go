@@ -1,0 +1,300 @@
+// Package profile implements Sentinel's tensor-level dynamic profiling
+// (Sec. III-A): one training step executed with page-aligned allocation on
+// slow memory and poison-bit access counting, coordinated between the OS
+// layer (page-fault counts) and the runtime layer (allocation lifetimes and
+// layer annotations). Because each page holds one tensor during this step,
+// page-level fault counts become exact tensor-level access counts.
+//
+// The package also provides the characterization analyses behind the
+// paper's Observations 1-3, including the page-level false-sharing study.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+)
+
+// TensorStat is what profiling observes about one tensor.
+type TensorStat struct {
+	ID   tensor.ID
+	Name string
+	Kind tensor.Kind
+	Size int64
+	// AllocLayer/FreeLayer are the observed lifetime bounds (layer
+	// indices); preallocated tensors span the whole step.
+	AllocLayer, FreeLayer int
+	Preallocated          bool
+	// Accesses is the per-page main-memory access count observed via
+	// protection faults (uniform across a tensor's pages, since ops
+	// stream whole tensors).
+	Accesses int64
+	// PerLayer attributes accesses to layers; the fault handler knows
+	// the current layer from the add_layer() annotations.
+	PerLayer []tensor.LayerAccess
+}
+
+// Lifetime returns the observed lifetime in layers (inclusive).
+func (ts *TensorStat) Lifetime() int { return ts.FreeLayer - ts.AllocLayer + 1 }
+
+// ShortLived reports lifetime <= one layer.
+func (ts *TensorStat) ShortLived() bool { return !ts.Preallocated && ts.Lifetime() <= 1 }
+
+// LastAccessLayer returns the last layer with accesses, or -1.
+func (ts *TensorStat) LastAccessLayer() int {
+	last := -1
+	for _, a := range ts.PerLayer {
+		if a.Layer > last {
+			last = a.Layer
+		}
+	}
+	return last
+}
+
+// NextAccessAfter returns the first access layer strictly after l, or -1.
+func (ts *TensorStat) NextAccessAfter(l int) int {
+	next := -1
+	for _, a := range ts.PerLayer {
+		if a.Layer > l && (next == -1 || a.Layer < next) {
+			next = a.Layer
+		}
+	}
+	return next
+}
+
+// Profile is the output of the profiling step.
+type Profile struct {
+	Model     string
+	Batch     int
+	NumLayers int
+	Tensors   []TensorStat
+	// LayerTime is the per-layer execution time measured during the
+	// profiling step with fault overhead removed — the T() term of the
+	// paper's Equation 2. It is measured on slow memory, which is where
+	// profiling runs.
+	LayerTime []simtime.Duration
+	// PeakShortLived is the peak concurrent bytes of short-lived
+	// tensors; Sentinel reserves this much fast memory (RS).
+	PeakShortLived int64
+	// PeakMemory is the peak mapped bytes during the profiled step.
+	PeakMemory int64
+	// Faults and FaultTime quantify the profiling overhead (the paper
+	// reports up to a 5x slowdown of the profiled step).
+	Faults    int64
+	FaultTime simtime.Duration
+	// StepTime is the profiled step's duration including fault
+	// overhead.
+	StepTime simtime.Duration
+}
+
+// ByID returns the stat for a tensor id, or nil.
+func (p *Profile) ByID(id tensor.ID) *TensorStat {
+	if int(id) >= len(p.Tensors) {
+		return nil
+	}
+	return &p.Tensors[id]
+}
+
+// LongLived returns ids of non-short-lived, non-preallocated tensors plus
+// preallocated ones (which are long-lived by definition), sorted by
+// descending access count.
+func (p *Profile) LongLived() []tensor.ID {
+	var ids []tensor.ID
+	for i := range p.Tensors {
+		if !p.Tensors[i].ShortLived() {
+			ids = append(ids, p.Tensors[i].ID)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ta, tb := p.ByID(ids[a]), p.ByID(ids[b])
+		if ta.Accesses != tb.Accesses {
+			return ta.Accesses > tb.Accesses
+		}
+		return ta.ID < tb.ID
+	})
+	return ids
+}
+
+// Recorder accumulates the OS- and runtime-level profiling observations
+// for one step: it poisons each tensor's pages at allocation, tracks the
+// current layer from the add_layer annotations, and records lifetimes from
+// (de)allocation events. The Sentinel policy drives one directly; Collect
+// wraps one in a standalone policy.
+type Recorder struct {
+	rt       *exec.Runtime
+	curLayer int
+	stats    []TensorStat
+}
+
+// NewRecorder starts recording on the runtime: profiling-fault accounting
+// is switched on and stats are sized for the graph.
+func NewRecorder(rt *exec.Runtime) *Recorder {
+	rt.Kernel().SetProfiling(true)
+	return &Recorder{rt: rt, stats: make([]TensorStat, len(rt.Graph().Tensors))}
+}
+
+// LayerStart tracks the current layer for lifetime attribution.
+func (rec *Recorder) LayerStart(l int) { rec.curLayer = l }
+
+// TensorAllocated poisons the tensor's pages and opens its lifetime.
+func (rec *Recorder) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
+	first, last := r.Pages()
+	rec.rt.Kernel().Poison(first, last)
+	layer := rec.curLayer
+	if t.Preallocated {
+		layer = 0
+	}
+	rec.stats[t.ID] = TensorStat{
+		ID: t.ID, Name: t.Name, Kind: t.Kind, Size: t.Size,
+		AllocLayer: layer, FreeLayer: layer, Preallocated: t.Preallocated,
+	}
+}
+
+// TensorFreed closes the tensor's lifetime.
+func (rec *Recorder) TensorFreed(t *tensor.Tensor, _ alloc.Region) {
+	rec.stats[t.ID].FreeLayer = rec.curLayer
+}
+
+// Assemble finishes recording and builds the Profile from the step's
+// statistics; it also switches fault accounting back off.
+func (rec *Recorder) Assemble(st *metrics.StepStats) *Profile {
+	rec.rt.Kernel().SetProfiling(false)
+	return assemble(rec.rt.Graph(), st, rec.stats)
+}
+
+// collector is the standalone profiling policy: page-aligned slow
+// allocation with poisoned pages.
+type collector struct {
+	exec.Base
+	rec *Recorder
+}
+
+func (c *collector) Name() string { return "profiler" }
+
+func (c *collector) AllocConfig(g *graph.Graph) alloc.Config {
+	return alloc.Config{
+		Mode: alloc.PageAligned,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Slow },
+	}
+}
+
+func (c *collector) Setup(rt *exec.Runtime) error {
+	c.rec = NewRecorder(rt)
+	return nil
+}
+
+func (c *collector) LayerStart(l int) { c.rec.LayerStart(l) }
+
+func (c *collector) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
+	c.rec.TensorAllocated(t, r)
+}
+
+func (c *collector) TensorFreed(t *tensor.Tensor, r alloc.Region) {
+	c.rec.TensorFreed(t, r)
+}
+
+// Collect runs one profiling step of g on the machine and returns the
+// profile. The step runs entirely on slow memory, so profiling never
+// consumes fast memory (Sec. III-A).
+func Collect(g *graph.Graph, spec memsys.Spec) (*Profile, error) {
+	c := &collector{}
+	rt, err := exec.NewRuntime(g, spec, c)
+	if err != nil {
+		return nil, err
+	}
+	st, err := rt.RunStep()
+	if err != nil {
+		return nil, fmt.Errorf("profile: %w", err)
+	}
+	return c.rec.Assemble(st), nil
+}
+
+func assemble(g *graph.Graph, st *metrics.StepStats, stats []TensorStat) *Profile {
+	p := &Profile{
+		Model:          g.Model,
+		Batch:          g.Batch,
+		NumLayers:      g.NumLayers,
+		Tensors:        stats,
+		PeakShortLived: 0,
+		PeakMemory:     st.PeakMapped,
+		Faults:         st.Faults,
+		FaultTime:      st.FaultTime,
+		StepTime:       st.Duration,
+	}
+	// Per-layer times with fault overhead removed, apportioned by the
+	// fraction of total fault time each layer contributed. Fault cost is
+	// proportional to faults, which the layer times already include; we
+	// subtract proportionally to layer duration share of fault time.
+	p.LayerTime = make([]simtime.Duration, len(st.LayerTime))
+	var total simtime.Duration
+	for _, lt := range st.LayerTime {
+		total += lt
+	}
+	for i, lt := range st.LayerTime {
+		adj := lt
+		if total > 0 {
+			adj -= simtime.Duration(int64(st.FaultTime) * int64(lt) / int64(total))
+		}
+		if adj < 0 {
+			adj = 0
+		}
+		p.LayerTime[i] = adj
+	}
+	// Attribute access counts. The fault totals come from the kernel;
+	// the per-layer attribution reflects what the fault handler records
+	// given the add_layer annotations, which in the simulation equals
+	// the graph's per-layer access pattern.
+	for i := range p.Tensors {
+		ts := &p.Tensors[i]
+		if ts.Name == "" {
+			// Tensor never allocated during the step (should not
+			// happen; graph validation requires allocation).
+			continue
+		}
+		t := g.T(ts.ID)
+		ts.PerLayer = t.AccessLayers
+		var n int64
+		for _, a := range t.AccessLayers {
+			n += int64(a.Reads + a.Writes)
+		}
+		ts.Accesses = n
+		if ts.Preallocated {
+			ts.FreeLayer = g.NumLayers - 1
+		}
+	}
+	p.PeakShortLived = peakShortLived(g)
+	return p
+}
+
+// peakShortLived computes the peak concurrent short-lived bytes the way the
+// runtime observes it from (de)allocation events.
+func peakShortLived(g *graph.Graph) int64 {
+	var cur, peak int64
+	for i := range g.Ops {
+		for _, id := range g.Ops[i].Allocs {
+			if g.T(id).ShortLived() {
+				cur += g.T(id).Size
+			}
+		}
+		if cur > peak {
+			peak = cur
+		}
+		for _, id := range g.Ops[i].Frees {
+			if g.T(id).ShortLived() {
+				cur -= g.T(id).Size
+			}
+		}
+	}
+	return peak
+}
+
+// kernel import is used for page constants in the sharing analysis.
+var _ = kernel.PageSize

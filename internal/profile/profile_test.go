@@ -1,0 +1,171 @@
+package profile
+
+import (
+	"testing"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/model"
+)
+
+func collect(t *testing.T, modelName string, batch int) *Profile {
+	t.Helper()
+	g, err := model.Build(modelName, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(g, memsys.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileMatchesGroundTruth(t *testing.T) {
+	g, err := model.Build("resnet32", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(g, memsys.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tensors) != len(g.Tensors) {
+		t.Fatalf("profiled %d of %d tensors", len(p.Tensors), len(g.Tensors))
+	}
+	for i := range p.Tensors {
+		ts := &p.Tensors[i]
+		truth := g.Tensors[i]
+		// Observed lifetimes match the graph's.
+		if ts.AllocLayer != truth.AllocLayer || ts.FreeLayer != truth.FreeLayer {
+			t.Fatalf("%s: observed lifetime [%d,%d], truth [%d,%d]",
+				ts.Name, ts.AllocLayer, ts.FreeLayer, truth.AllocLayer, truth.FreeLayer)
+		}
+		// Observed access counts match ground truth.
+		if int(ts.Accesses) != truth.TotalAccesses() {
+			t.Fatalf("%s: observed %d accesses, truth %d", ts.Name, ts.Accesses, truth.TotalAccesses())
+		}
+		if ts.ShortLived() != truth.ShortLived() {
+			t.Fatalf("%s: short-lived classification diverges", ts.Name)
+		}
+	}
+}
+
+func TestProfilingOverheadVisible(t *testing.T) {
+	p := collect(t, "resnet32", 64)
+	if p.Faults == 0 {
+		t.Fatal("profiling took no faults")
+	}
+	if p.FaultTime <= 0 {
+		t.Fatal("no fault overhead recorded")
+	}
+	// The paper reports up to 5x slowdown of the profiled step; it must
+	// be material but bounded.
+	slowdown := float64(p.StepTime) / float64(p.StepTime-p.FaultTime)
+	if slowdown < 1.2 || slowdown > 8 {
+		t.Fatalf("profiled-step slowdown %.1fx out of plausible range", slowdown)
+	}
+}
+
+func TestLayerTimesExcludeFaults(t *testing.T) {
+	p := collect(t, "resnet32", 64)
+	var sum int64
+	for _, lt := range p.LayerTime {
+		if lt < 0 {
+			t.Fatal("negative layer time")
+		}
+		sum += int64(lt)
+	}
+	if sum <= 0 {
+		t.Fatal("no layer times")
+	}
+	// Adjusted layer times should sum to roughly step - faults.
+	want := int64(p.StepTime - p.FaultTime)
+	if sum > want*11/10 {
+		t.Fatalf("layer times %d exceed fault-free step %d", sum, want)
+	}
+}
+
+func TestLongLivedSorted(t *testing.T) {
+	p := collect(t, "resnet32", 64)
+	ids := p.LongLived()
+	if len(ids) == 0 {
+		t.Fatal("no long-lived tensors")
+	}
+	for i := 1; i < len(ids); i++ {
+		if p.ByID(ids[i-1]).Accesses < p.ByID(ids[i]).Accesses {
+			t.Fatal("long-lived list not sorted by access count")
+		}
+	}
+	for _, id := range ids {
+		if p.ByID(id).ShortLived() {
+			t.Fatal("short-lived tensor in long-lived list")
+		}
+	}
+}
+
+func TestCharacterizeObservations(t *testing.T) {
+	g, err := model.Build("resnet32", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Characterize(g, memsys.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observation 1: a large number of small, short-lived tensors.
+	if c.ShortLivedFraction() < 0.75 {
+		t.Errorf("short-lived fraction %.2f", c.ShortLivedFraction())
+	}
+	if c.SmallFraction() < 0.80 {
+		t.Errorf("sub-page fraction %.2f", c.SmallFraction())
+	}
+	// Observation 2: cold tensors dominate bytes; the hot set is small.
+	if c.TensorBytes[BucketCold] == 0 {
+		t.Error("no cold tensor bytes")
+	}
+	if c.TensorBytes[BucketHot] >= c.TensorBytes[BucketCold]/10 {
+		t.Errorf("hot set too large: %d vs cold %d", c.TensorBytes[BucketHot], c.TensorBytes[BucketCold])
+	}
+	// Observation 3: page-level profiling misattributes cold bytes.
+	if c.FalseSharingBytes == 0 {
+		t.Error("no page-level false sharing observed")
+	}
+	if c.PageBytes[BucketCold] >= c.TensorBytes[BucketCold] {
+		t.Error("page-level cold bytes should be below tensor-level cold bytes")
+	}
+	if c.String() == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int64]AccessBucket{
+		0: BucketZero, 1: BucketCold, 10: BucketCold,
+		11: BucketWarm, 100: BucketWarm, 101: BucketHot,
+	}
+	for n, want := range cases {
+		if got := BucketOf(n); got != want {
+			t.Errorf("BucketOf(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestProfilingNeverUsesFastMemory(t *testing.T) {
+	g, err := model.Build("lstm", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Collect(g, memsys.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sec. III-A: profiling happens on slow memory only.
+	if p.PeakMemory <= 0 {
+		t.Fatal("no peak recorded")
+	}
+	// PeakShortLived feeds the reserve; it must be positive and below
+	// the total peak.
+	if p.PeakShortLived <= 0 || p.PeakShortLived >= p.PeakMemory {
+		t.Fatalf("short-lived peak %d vs peak %d", p.PeakShortLived, p.PeakMemory)
+	}
+}

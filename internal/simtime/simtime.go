@@ -1,0 +1,130 @@
+// Package simtime provides the virtual time base used by the discrete-event
+// simulation. All simulated durations are expressed in nanoseconds of
+// virtual time, independent of wall-clock time, so experiments are exactly
+// reproducible.
+package simtime
+
+import (
+	"fmt"
+	"math"
+)
+
+// Time is an instant in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It mirrors
+// time.Duration but is kept distinct so simulated time can never be mixed
+// with wall-clock time by accident.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Max returns the later of two instants.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of two instants.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Seconds reports d as floating-point seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds reports d as floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// String formats a duration with an adaptive unit, e.g. "12.3ms".
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(d)/float64(Microsecond))
+	case d < Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Duration, saturating on
+// overflow.
+func FromSeconds(s float64) Duration {
+	ns := s * float64(Second)
+	if ns >= math.MaxInt64 {
+		return Duration(math.MaxInt64)
+	}
+	if ns <= math.MinInt64 {
+		return Duration(math.MinInt64)
+	}
+	return Duration(ns)
+}
+
+// TransferTime returns how long moving n bytes takes at bytesPerSec. A zero
+// or negative bandwidth yields an infinite (saturated) duration, which the
+// engine treats as "never completes"; callers validate bandwidths up front.
+func TransferTime(n int64, bytesPerSec float64) Duration {
+	if n <= 0 {
+		return 0
+	}
+	if bytesPerSec <= 0 {
+		return Duration(math.MaxInt64)
+	}
+	return FromSeconds(float64(n) / bytesPerSec)
+}
+
+// Bytes formats a byte count with an adaptive binary unit, e.g. "1.50GiB".
+func Bytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n < 0:
+		return "-" + Bytes(-n)
+	case n < kib:
+		return fmt.Sprintf("%dB", n)
+	case n < mib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/kib)
+	case n < gib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/mib)
+	default:
+		return fmt.Sprintf("%.2fGiB", float64(n)/gib)
+	}
+}
+
+// GB expresses n gigabytes (decimal) in bytes; convenient for machine specs.
+func GB(n float64) int64 { return int64(n * 1e9) }
+
+// GiB expresses n binary gigabytes in bytes.
+func GiB(n float64) int64 { return int64(n * (1 << 30)) }
+
+// MiB expresses n binary megabytes in bytes.
+func MiB(n float64) int64 { return int64(n * (1 << 20)) }
+
+// KiB expresses n binary kilobytes in bytes.
+func KiB(n float64) int64 { return int64(n * (1 << 10)) }

@@ -1,0 +1,123 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.50us"},
+		{2 * Millisecond, "2.00ms"},
+		{1500 * Millisecond, "1.500s"},
+		{-2 * Millisecond, "-2.00ms"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d", d)
+	}
+	if Max(t0, t1) != t1 || Min(t0, t1) != t0 {
+		t.Fatal("Max/Min wrong")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GB at 1 GB/s = 1 s.
+	if got := TransferTime(1e9, 1e9); got != Second {
+		t.Errorf("TransferTime(1e9, 1e9) = %v, want 1s", got)
+	}
+	if got := TransferTime(0, 1e9); got != 0 {
+		t.Errorf("zero bytes should take zero time, got %v", got)
+	}
+	if got := TransferTime(-5, 1e9); got != 0 {
+		t.Errorf("negative bytes should take zero time, got %v", got)
+	}
+	// Zero bandwidth saturates rather than dividing by zero.
+	if got := TransferTime(1, 0); got != Duration(math.MaxInt64) {
+		t.Errorf("zero bandwidth should saturate, got %v", got)
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo, hi := int64(a), int64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return TransferTime(lo, 1e9) <= TransferTime(hi, 1e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	// Conversion truncates, so allow 1 ns of float slack.
+	f := func(ms uint16) bool {
+		d := FromSeconds(float64(ms) / 1000)
+		want := Duration(ms) * Millisecond
+		diff := d - want
+		return diff >= -1 && diff <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromSecondsSaturates(t *testing.T) {
+	if d := FromSeconds(1e300); d != Duration(math.MaxInt64) {
+		t.Errorf("want saturation, got %v", d)
+	}
+	if d := FromSeconds(-1e300); d != Duration(math.MinInt64) {
+		t.Errorf("want negative saturation, got %v", d)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{1536, "1.5KiB"},
+		{3 << 20, "3.0MiB"},
+		{int64(2.5 * (1 << 30)), "2.50GiB"},
+		{-1536, "-1.5KiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	if GiB(1) != 1<<30 || MiB(1) != 1<<20 || KiB(1) != 1<<10 {
+		t.Fatal("binary units wrong")
+	}
+	if GB(1) != 1e9 {
+		t.Fatal("decimal GB wrong")
+	}
+	if GiB(0.5) != 1<<29 {
+		t.Fatalf("fractional GiB: got %d", GiB(0.5))
+	}
+}

@@ -1,0 +1,167 @@
+// Package tensor defines the tensor metadata the runtime manages. A tensor
+// here is a block of memory with a lifetime expressed in DNN layers — the
+// granularity at which Sentinel reasons — not a numerical array; the
+// simulation never materializes tensor contents.
+package tensor
+
+import "fmt"
+
+// Kind classifies tensors by their role in training. The roles matter
+// because they determine lifetime and access patterns (Sec. III-B of the
+// paper).
+type Kind int
+
+const (
+	// Weight tensors are model parameters: allocated before training,
+	// freed after it, read in forward and backward passes and written by
+	// the optimizer update.
+	Weight Kind = iota
+	// Activation tensors are intermediate results produced in a forward
+	// layer and consumed by the matching backward layer.
+	Activation
+	// Gradient tensors are produced and consumed during the backward
+	// pass.
+	Gradient
+	// Scratch tensors are operation-internal temporaries (padding,
+	// transpose, im2col buffers): small and freed within the layer that
+	// allocated them.
+	Scratch
+	// Input tensors hold the training batch, allocated before each step.
+	Input
+)
+
+var kindNames = [...]string{"weight", "activation", "gradient", "scratch", "input"}
+
+// String returns the lower-case kind name.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// ID uniquely identifies a tensor within one graph.
+type ID int32
+
+// NoLayer marks an unset layer index.
+const NoLayer = -1
+
+// Tensor is the metadata for one tensor.
+type Tensor struct {
+	ID   ID
+	Name string
+	Kind Kind
+	// Size in bytes.
+	Size int64
+	// AllocLayer and FreeLayer bound the tensor's lifetime in layer
+	// indices, inclusive. Pre-allocated tensors (weights, inputs) use
+	// AllocLayer 0 and FreeLayer = last layer: they are alive for the
+	// whole step.
+	AllocLayer, FreeLayer int
+	// Preallocated marks tensors allocated before the training loop
+	// (weights, inputs). They survive across steps and cannot be
+	// re-organized mid-training without creating wild pointers.
+	Preallocated bool
+	// AccessLayers lists, in order, every layer that accesses the tensor
+	// together with the number of main-memory accesses (post-cache) it
+	// performs there. This is the ground truth the simulated profiler
+	// observes.
+	AccessLayers []LayerAccess
+}
+
+// LayerAccess records main-memory traffic to a tensor in one layer.
+type LayerAccess struct {
+	Layer int
+	// Reads and Writes count main-memory accesses. Each access touches
+	// the tensor once; bytes moved are Size per access for large tensors
+	// (streaming) — the engine derives bytes from these counts.
+	Reads, Writes int
+}
+
+// Lifetime returns the tensor's lifetime in layers, inclusive of both ends.
+// A tensor allocated and freed within one layer has lifetime 1.
+func (t *Tensor) Lifetime() int {
+	if t.FreeLayer < t.AllocLayer {
+		return 0
+	}
+	return t.FreeLayer - t.AllocLayer + 1
+}
+
+// ShortLived reports whether the tensor's lifetime is no longer than one
+// layer — the paper's definition of a short-lived tensor.
+func (t *Tensor) ShortLived() bool { return t.Lifetime() <= 1 }
+
+// TotalAccesses sums main-memory reads and writes across all layers.
+func (t *Tensor) TotalAccesses() int {
+	n := 0
+	for _, a := range t.AccessLayers {
+		n += a.Reads + a.Writes
+	}
+	return n
+}
+
+// AccessesIn returns the accesses the tensor performs in the given layer.
+func (t *Tensor) AccessesIn(layer int) (reads, writes int) {
+	for _, a := range t.AccessLayers {
+		if a.Layer == layer {
+			reads += a.Reads
+			writes += a.Writes
+		}
+	}
+	return reads, writes
+}
+
+// AliveIn reports whether the tensor is alive in the given layer.
+func (t *Tensor) AliveIn(layer int) bool {
+	return layer >= t.AllocLayer && layer <= t.FreeLayer
+}
+
+// LastAccessLayer returns the index of the last layer that accesses the
+// tensor, or NoLayer if it is never accessed.
+func (t *Tensor) LastAccessLayer() int {
+	last := NoLayer
+	for _, a := range t.AccessLayers {
+		if a.Layer > last {
+			last = a.Layer
+		}
+	}
+	return last
+}
+
+// NextAccessAfter returns the first layer strictly after the given layer
+// that accesses the tensor, or NoLayer if none.
+func (t *Tensor) NextAccessAfter(layer int) int {
+	next := NoLayer
+	for _, a := range t.AccessLayers {
+		if a.Layer > layer && (next == NoLayer || a.Layer < next) {
+			next = a.Layer
+		}
+	}
+	return next
+}
+
+// ResidenceKey returns a canonical key for the set of layers in which the
+// tensor is alive. Sentinel co-allocates long-lived tensors only when they
+// reside in exactly the same layers (Sec. IV-B rule 2/3).
+func (t *Tensor) ResidenceKey() string {
+	return fmt.Sprintf("%d-%d", t.AllocLayer, t.FreeLayer)
+}
+
+// Validate reports malformed metadata.
+func (t *Tensor) Validate() error {
+	if t.Size <= 0 {
+		return fmt.Errorf("tensor %q: non-positive size %d", t.Name, t.Size)
+	}
+	if t.FreeLayer < t.AllocLayer {
+		return fmt.Errorf("tensor %q: freed (layer %d) before allocated (layer %d)", t.Name, t.FreeLayer, t.AllocLayer)
+	}
+	for _, a := range t.AccessLayers {
+		if a.Layer < t.AllocLayer || a.Layer > t.FreeLayer {
+			return fmt.Errorf("tensor %q: access in layer %d outside lifetime [%d,%d]", t.Name, a.Layer, t.AllocLayer, t.FreeLayer)
+		}
+		if a.Reads < 0 || a.Writes < 0 {
+			return fmt.Errorf("tensor %q: negative access count in layer %d", t.Name, a.Layer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "testing"
+
+func sample() *Tensor {
+	return &Tensor{
+		ID: 1, Name: "act", Kind: Activation, Size: 4096,
+		AllocLayer: 2, FreeLayer: 8,
+		AccessLayers: []LayerAccess{
+			{Layer: 2, Reads: 0, Writes: 1},
+			{Layer: 3, Reads: 1},
+			{Layer: 8, Reads: 2},
+		},
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	ts := sample()
+	if got := ts.Lifetime(); got != 7 {
+		t.Fatalf("lifetime = %d", got)
+	}
+	if ts.ShortLived() {
+		t.Fatal("7-layer tensor reported short-lived")
+	}
+	one := &Tensor{Size: 64, AllocLayer: 5, FreeLayer: 5}
+	if !one.ShortLived() || one.Lifetime() != 1 {
+		t.Fatal("single-layer tensor not short-lived")
+	}
+}
+
+func TestAccessAccounting(t *testing.T) {
+	ts := sample()
+	if got := ts.TotalAccesses(); got != 4 {
+		t.Fatalf("total accesses = %d", got)
+	}
+	r, w := ts.AccessesIn(2)
+	if r != 0 || w != 1 {
+		t.Fatalf("layer 2 accesses = %d/%d", r, w)
+	}
+	r, w = ts.AccessesIn(5)
+	if r != 0 || w != 0 {
+		t.Fatalf("idle layer accesses = %d/%d", r, w)
+	}
+}
+
+func TestAccessNavigation(t *testing.T) {
+	ts := sample()
+	if got := ts.LastAccessLayer(); got != 8 {
+		t.Fatalf("last access layer = %d", got)
+	}
+	if got := ts.NextAccessAfter(3); got != 8 {
+		t.Fatalf("next after 3 = %d", got)
+	}
+	if got := ts.NextAccessAfter(8); got != NoLayer {
+		t.Fatalf("next after last = %d", got)
+	}
+	empty := &Tensor{Size: 1, AllocLayer: 0, FreeLayer: 0}
+	if empty.LastAccessLayer() != NoLayer {
+		t.Fatal("never-accessed tensor has a last access layer")
+	}
+}
+
+func TestAliveIn(t *testing.T) {
+	ts := sample()
+	for _, c := range []struct {
+		layer int
+		want  bool
+	}{{1, false}, {2, true}, {8, true}, {9, false}} {
+		if got := ts.AliveIn(c.layer); got != c.want {
+			t.Errorf("AliveIn(%d) = %v", c.layer, got)
+		}
+	}
+}
+
+func TestResidenceKey(t *testing.T) {
+	a := sample()
+	b := sample()
+	if a.ResidenceKey() != b.ResidenceKey() {
+		t.Fatal("identical residences produced different keys")
+	}
+	b.FreeLayer = 9
+	if a.ResidenceKey() == b.ResidenceKey() {
+		t.Fatal("different residences produced the same key")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("valid tensor rejected: %v", err)
+	}
+	bad := sample()
+	bad.Size = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero size accepted")
+	}
+	bad = sample()
+	bad.FreeLayer = 1
+	if bad.Validate() == nil {
+		t.Fatal("free-before-alloc accepted")
+	}
+	bad = sample()
+	bad.AccessLayers = append(bad.AccessLayers, LayerAccess{Layer: 20, Reads: 1})
+	if bad.Validate() == nil {
+		t.Fatal("out-of-lifetime access accepted")
+	}
+	bad = sample()
+	bad.AccessLayers[0].Reads = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Weight: "weight", Activation: "activation", Gradient: "gradient",
+		Scratch: "scratch", Input: "input",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

@@ -1,0 +1,101 @@
+package sentinel_test
+
+import (
+	"testing"
+
+	"sentinel"
+)
+
+func TestFacadeTrainFlow(t *testing.T) {
+	g, err := sentinel.BuildModel("resnet32", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine := sentinel.OptaneHM().WithFastSize(g.PeakMemory() / 5)
+	run, err := sentinel.Train(g, machine, "sentinel", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Throughput() <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestFacadeRegistries(t *testing.T) {
+	if len(sentinel.Models()) < 10 {
+		t.Fatalf("models: %v", sentinel.Models())
+	}
+	if len(sentinel.Policies()) < 12 {
+		t.Fatalf("policies: %v", sentinel.Policies())
+	}
+	if len(sentinel.ExperimentIDs()) < 12 {
+		t.Fatalf("experiments: %v", sentinel.ExperimentIDs())
+	}
+	if _, err := sentinel.NewPolicy("sentinel-gpu"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sentinel.NewPolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFacadeProfileAndCharacterize(t *testing.T) {
+	g, err := sentinel.BuildModel("dcgan", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sentinel.CollectProfile(g, sentinel.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tensors) == 0 {
+		t.Fatal("empty profile")
+	}
+	c, err := sentinel.Characterize(g, sentinel.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Tensors == 0 {
+		t.Fatal("empty characterization")
+	}
+}
+
+func TestFacadeCustomSentinelConfig(t *testing.T) {
+	cfg := sentinel.DefaultSentinelConfig()
+	cfg.ForceMIL = 2
+	p := sentinel.NewSentinel(cfg)
+	g, err := sentinel.BuildModel("resnet32", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sentinel.NewRuntime(g, sentinel.OptaneHM().WithFastSize(g.PeakMemory()/5), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunSteps(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeMaxBatch(t *testing.T) {
+	mb, err := sentinel.MaxBatch("dcgan", sentinel.GPUHM(), "sentinel-gpu", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb <= 0 {
+		t.Fatal("no trainable batch found")
+	}
+	if _, err := sentinel.MaxBatch("dcgan", sentinel.GPUHM(), "nope", 8); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	tbl, err := sentinel.Experiment("fig9", sentinel.ExperimentOptions{Steps: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("fig9 rows: %d", len(tbl.Rows))
+	}
+}
