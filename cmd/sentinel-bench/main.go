@@ -1,10 +1,17 @@
 // Command sentinel-bench regenerates the paper's evaluation: every table
 // and figure of Sec. VII, against the simulated Optane and GPU platforms.
 //
+// Experiment cells (one simulation per model × policy × capacity point)
+// fan out over a worker pool and share a plan cache, so a full sweep runs
+// as wide as the machine allows while emitting tables byte-identical to a
+// sequential run.
+//
 // Usage:
 //
-//	sentinel-bench                 # run everything
+//	sentinel-bench                 # run everything, GOMAXPROCS-wide
 //	sentinel-bench -exp fig7       # one experiment
+//	sentinel-bench -workers 4      # bound the worker pool
+//	sentinel-bench -seq            # sequential reference path (no pool, no cache)
 //	sentinel-bench -quick          # trimmed sweeps
 //	sentinel-bench -list           # list experiment ids
 package main
@@ -17,15 +24,19 @@ import (
 	"time"
 
 	"sentinel/internal/experiment"
+	"sentinel/internal/metrics"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or comma-separated list (see -list)")
-		quick  = flag.Bool("quick", false, "trimmed sweeps for quick runs")
-		steps  = flag.Int("steps", 5, "training steps per configuration")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "text", "output format: text, csv, or json")
+		exp      = flag.String("exp", "all", "experiment id or comma-separated list (see -list)")
+		quick    = flag.Bool("quick", false, "trimmed sweeps for quick runs")
+		steps    = flag.Int("steps", 5, "training steps per configuration")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "text", "output format: text, csv, or json")
+		workers  = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = sequential)")
+		seq      = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
+		progress = flag.Bool("progress", stderrIsTerminal(), "live cell-completion progress on stderr")
 	)
 	flag.Parse()
 
@@ -36,7 +47,23 @@ func main() {
 		return
 	}
 
-	opts := experiment.Options{Steps: *steps, Quick: *quick}
+	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers}
+	if *seq {
+		// The reference path the golden determinism tests compare
+		// against: strictly sequential and cache-free.
+		opts.Workers = 1
+		opts.NoCache = true
+	} else {
+		// One cache across the whole sweep: recurring cells (fast-only
+		// references, repeated model/policy pairs) compute once.
+		opts.Cache = experiment.NewCache()
+	}
+	var sp *metrics.SweepProgress
+	if *progress {
+		sp = metrics.NewSweepProgress(os.Stderr)
+		opts.Progress = sp
+	}
+	sweepStart := time.Now()
 	ids := experiment.DefaultIDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
@@ -44,6 +71,9 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		t, err := experiment.Run(strings.TrimSpace(id), opts)
+		if sp != nil {
+			sp.Break()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sentinel-bench: %s: %v\n", id, err)
 			os.Exit(1)
@@ -64,4 +94,15 @@ func main() {
 			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if sp != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %s across %d experiments (wall-clock %v)\n",
+			sp.Summary(), len(ids), time.Since(sweepStart).Round(time.Millisecond))
+	}
+}
+
+// stderrIsTerminal reports whether stderr is an interactive terminal; the
+// live progress line defaults on only there (CI logs get one summary line).
+func stderrIsTerminal() bool {
+	st, err := os.Stderr.Stat()
+	return err == nil && st.Mode()&os.ModeCharDevice != 0
 }

@@ -1,7 +1,8 @@
 // Command sentinel-validate runs the reproduction's self-check: each line
 // is a claim from the paper that must hold in this simulation (with the
 // tolerances documented in EXPERIMENTS.md). Exits non-zero if any check
-// fails — suitable for CI.
+// fails — suitable for CI. Independent simulations fan out over a worker
+// pool (-workers); -seq forces the sequential cache-free reference path.
 package main
 
 import (
@@ -13,10 +14,19 @@ import (
 )
 
 func main() {
-	steps := flag.Int("steps", 5, "training steps per configuration")
+	var (
+		steps   = flag.Int("steps", 5, "training steps per configuration")
+		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
+		seq     = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
+	)
 	flag.Parse()
 
-	checks, err := experiment.Validate(experiment.Options{Steps: *steps})
+	opts := experiment.Options{Steps: *steps, Workers: *workers}
+	if *seq {
+		opts.Workers = 1
+		opts.NoCache = true
+	}
+	checks, err := experiment.Validate(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sentinel-validate:", err)
 		os.Exit(1)

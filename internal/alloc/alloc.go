@@ -162,7 +162,8 @@ func (a *Allocator) Reconfigure(cfg Config) {
 	if cfg.Tier == nil {
 		cfg.Tier = func(*tensor.Tensor) memsys.Tier { return memsys.Slow }
 	}
-	for key, ar := range a.arenas {
+	for _, key := range a.sortedArenaKeys() {
+		ar := a.arenas[key]
 		if ar.live > 0 {
 			continue
 		}
@@ -402,6 +403,17 @@ func (a *Allocator) ArenaBytes() map[string]int64 {
 	return out
 }
 
+// sortedArenaKeys returns the arena keys in sorted order; map iteration
+// order must not leak into allocation or reclamation behavior.
+func (a *Allocator) sortedArenaKeys() []string {
+	keys := make([]string, 0, len(a.arenas))
+	for key := range a.arenas {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // chunkFree reports whether the chunk is entirely on the arena's free list
 // (no live allocation inside), returning the covering free-block index.
 func chunkFree(ar *arena, c block) (int, bool) {
@@ -420,7 +432,11 @@ func chunkFree(ar *arena, c block) (int, bool) {
 // never reclaimed. Returns the bytes of the tier released.
 func (a *Allocator) Reclaim(tier memsys.Tier, need int64) int64 {
 	var freed int64
-	for _, ar := range a.arenas {
+	// Arena order decides which cached chunks go back first; iterate in
+	// sorted key order so reclamation (and everything downstream of the
+	// resulting memory layout) is deterministic across runs.
+	for _, key := range a.sortedArenaKeys() {
+		ar := a.arenas[key]
 		if ar.pin {
 			continue
 		}

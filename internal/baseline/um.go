@@ -86,9 +86,11 @@ func (p *UM) MakeRoom(rt *exec.Runtime, need int64) int64 {
 		}
 		cands = append(cands, cand{id: id, last: last})
 	}
-	// Oldest first.
+	// Oldest first; ties break by tensor id so eviction order never
+	// depends on map iteration order (cands comes from a map).
 	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && cands[j].last < cands[j-1].last; j-- {
+		for j := i; j > 0 && (cands[j].last < cands[j-1].last ||
+			(cands[j].last == cands[j-1].last && cands[j].id < cands[j-1].id)); j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}

@@ -22,7 +22,7 @@ func Fig5(o Options) (*Table, error) {
 		Title:  "step time vs migration interval length (resnet32, Optane HM, fast = 20% of peak)",
 		Header: []string{"MIL", "step time", "vs best"},
 	}
-	spec, _, err := fastSized("resnet32", 128, fastPct)
+	spec, _, err := o.fastSized("resnet32", 128, fastPct)
 	if err != nil {
 		return nil, err
 	}
@@ -30,32 +30,25 @@ func Fig5(o Options) (*Table, error) {
 	if o.Quick {
 		mils = []int{1, 3, 5, 8, 11}
 	}
-	times := make(map[int]simtime.Duration)
+	cells := make([]cellRun, len(mils))
+	for i, mil := range mils {
+		cells[i] = cellRun{model: "resnet32", batch: 128, spec: spec,
+			policy: "sentinel", steps: o.steps(), mil: mil}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
 	best := simtime.Duration(0)
-	for _, mil := range mils {
-		g, err := model.Build("resnet32", 128)
-		if err != nil {
-			return nil, err
-		}
-		cfg := core.DefaultConfig()
-		cfg.ForceMIL = mil
-		rt, err := exec.NewRuntime(g, spec, core.New(cfg))
-		if err != nil {
-			return nil, err
-		}
-		run, err := rt.RunSteps(o.steps())
-		if err != nil {
-			return nil, err
-		}
-		d := run.SteadyStepTime()
-		times[mil] = d
-		if best == 0 || d < best {
+	for _, run := range runs {
+		if d := run.SteadyStepTime(); best == 0 || d < best {
 			best = d
 		}
 	}
-	for _, mil := range mils {
-		t.AddRow(fmt.Sprintf("%d", mil), times[mil].String(),
-			fmt.Sprintf("+%.1f%%", 100*(float64(times[mil])/float64(best)-1)))
+	for i, mil := range mils {
+		d := runs[i].SteadyStepTime()
+		t.AddRow(fmt.Sprintf("%d", mil), d.String(),
+			fmt.Sprintf("+%.1f%%", 100*(float64(d)/float64(best)-1)))
 	}
 	// Report what the performance model would pick.
 	g, err := model.Build("resnet32", 128)
@@ -82,38 +75,45 @@ func Fig7(o Options) (*Table, error) {
 		Title:  "speedup over slow-only (small batch, fast = 20% of peak)",
 		Header: []string{"model", "ial", "autotm", "sentinel", "fast-only (ref)", "sentinel vs fast"},
 	}
+	ms := model.EvalSet()
+	// Per model: slow-only baseline, the three migrators, and the
+	// fast-only reference (fast memory large enough for everything).
+	pols := []string{"slow-only", "ial", "autotm", "sentinel", "fast-only"}
+	var cells []cellRun
+	for _, m := range ms {
+		spec, peak, err := o.fastSized(m.Name, m.SmallBatch, fastPct)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pols {
+			c := cellRun{model: m.Name, batch: m.SmallBatch, spec: spec, policy: p, steps: o.steps()}
+			switch p {
+			case "slow-only":
+				c.steps = 2
+			case "fast-only":
+				c.steps = 2
+				c.spec = memsys.OptaneHM().WithFastSize(2 * peak)
+			}
+			cells = append(cells, c)
+		}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
 	var sentinelGapSum float64
 	var n int
-	for _, m := range model.EvalSet() {
-		spec, peak, err := fastSized(m.Name, m.SmallBatch, fastPct)
-		if err != nil {
-			return nil, err
-		}
-		slow, err := runOne(m.Name, m.SmallBatch, spec, "slow-only", 2)
-		if err != nil {
-			return nil, err
-		}
-		base := slow.SteadyStepTime()
+	for i, m := range ms {
+		group := runs[i*len(pols) : (i+1)*len(pols)]
+		base := group[0].SteadyStepTime()
 		row := []string{fmt.Sprintf("%s (b=%d)", m.Name, m.SmallBatch)}
-		var sentinelTime simtime.Duration
-		for _, p := range []string{"ial", "autotm", "sentinel"} {
-			run, err := runOne(m.Name, m.SmallBatch, spec, p, o.steps())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, speedup(base, run.SteadyStepTime()))
-			if p == "sentinel" {
-				sentinelTime = run.SteadyStepTime()
-			}
+		for k := 1; k <= 3; k++ {
+			row = append(row, speedup(base, group[k].SteadyStepTime()))
 		}
-		// Fast-only reference: fast memory large enough for everything.
-		fastSpec := memsys.OptaneHM().WithFastSize(2 * peak)
-		fast, err := runOne(m.Name, m.SmallBatch, fastSpec, "fast-only", 2)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, speedup(base, fast.SteadyStepTime()))
-		gap := float64(sentinelTime)/float64(fast.SteadyStepTime()) - 1
+		sentinelTime := group[3].SteadyStepTime()
+		fastTime := group[4].SteadyStepTime()
+		row = append(row, speedup(base, fastTime))
+		gap := float64(sentinelTime)/float64(fastTime) - 1
 		sentinelGapSum += gap
 		n++
 		row = append(row, fmt.Sprintf("+%.1f%%", 100*gap))
@@ -131,12 +131,17 @@ func Fig8(o Options) (*Table, error) {
 		Title:  "large-batch speedup over first-touch NUMA (fast = 20% of peak)",
 		Header: []string{"model", "memory-mode", "autotm", "sentinel"},
 	}
-	for _, m := range model.EvalSet() {
+	ms := model.EvalSet()
+	pols := []string{"first-touch", "memory-mode", "autotm", "sentinel"}
+	var cells []cellRun
+	batches := make([]int, len(ms))
+	for i, m := range ms {
 		batch := m.LargeBatch
 		if o.Quick {
 			batch = m.SmallBatch * 2
 		}
-		spec, peak, err := fastSized(m.Name, batch, fastPct)
+		batches[i] = batch
+		spec, peak, err := o.fastSized(m.Name, batch, fastPct)
 		if err != nil {
 			return nil, err
 		}
@@ -149,18 +154,24 @@ func Fig8(o Options) (*Table, error) {
 				spec = spec.WithFastSize(peak * 2)
 			}
 		}
-		ft, err := runOne(m.Name, batch, spec, "first-touch", 2)
-		if err != nil {
-			return nil, err
-		}
-		base := ft.SteadyStepTime()
-		row := []string{fmt.Sprintf("%s (b=%d)", m.Name, batch)}
-		for _, p := range []string{"memory-mode", "autotm", "sentinel"} {
-			run, err := runOne(m.Name, batch, spec, p, o.steps())
-			if err != nil {
-				return nil, err
+		for _, p := range pols {
+			c := cellRun{model: m.Name, batch: batch, spec: spec, policy: p, steps: o.steps()}
+			if p == "first-touch" {
+				c.steps = 2
 			}
-			row = append(row, speedup(base, run.SteadyStepTime()))
+			cells = append(cells, c)
+		}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		group := runs[i*len(pols) : (i+1)*len(pols)]
+		base := group[0].SteadyStepTime()
+		row := []string{fmt.Sprintf("%s (b=%d)", m.Name, batches[i])}
+		for k := 1; k < len(pols); k++ {
+			row = append(row, speedup(base, group[k].SteadyStepTime()))
 		}
 		t.AddRow(row...)
 	}
@@ -176,17 +187,23 @@ func Fig9(o Options) (*Table, error) {
 		Title:  "memory bandwidth during resnet32 training (fast = 20% of peak)",
 		Header: []string{"policy", "fast GB/s", "slow GB/s", "fast bytes/step", "slow bytes/step"},
 	}
-	spec, _, err := fastSized("resnet32", 128, fastPct)
+	spec, _, err := o.fastSized("resnet32", 128, fastPct)
+	if err != nil {
+		return nil, err
+	}
+	pols := []string{"ial", "sentinel"}
+	cells := make([]cellRun, len(pols))
+	for i, p := range pols {
+		cells[i] = cellRun{model: "resnet32", batch: 128, spec: spec,
+			policy: p, steps: o.steps(), trace: 5 * simtime.Millisecond}
+	}
+	runs, err := o.runAll(cells)
 	if err != nil {
 		return nil, err
 	}
 	var ialFast, sentinelFast float64
-	for _, p := range []string{"ial", "sentinel"} {
-		run, err := runOne("resnet32", 128, spec, p, o.steps(), exec.WithBWTrace(5*simtime.Millisecond))
-		if err != nil {
-			return nil, err
-		}
-		st := run.SteadyStep()
+	for i, p := range pols {
+		st := runs[i].SteadyStep()
 		fastBW := float64(st.FastBytes) / st.Duration.Seconds()
 		slowBW := float64(st.SlowBytes) / st.Duration.Seconds()
 		if p == "ial" {
@@ -219,26 +236,35 @@ func Fig10(o Options) (*Table, error) {
 		Title:  "sentinel step time vs fast memory size (normalized to fast-only)",
 		Header: header,
 	}
-	for _, m := range model.EvalSet() {
-		g, err := model.Build(m.Name, m.SmallBatch)
+	ms := model.EvalSet()
+	// The per-model fast-only baseline is one cell, hoisted out of the
+	// capacity-percentage grid: each model's baseline runs exactly once
+	// no matter how many percentages the grid sweeps, cache or no cache.
+	stride := 1 + len(pcts)
+	var cells []cellRun
+	for _, m := range ms {
+		peak, err := o.peak(m.Name, m.SmallBatch)
 		if err != nil {
 			return nil, err
 		}
-		peak := g.PeakMemory()
-		fastSpec := memsys.OptaneHM().WithFastSize(2 * peak)
-		fast, err := runOne(m.Name, m.SmallBatch, fastSpec, "fast-only", 2)
-		if err != nil {
-			return nil, err
-		}
-		base := fast.SteadyStepTime()
-		row := []string{m.Name}
+		cells = append(cells, cellRun{model: m.Name, batch: m.SmallBatch,
+			spec: memsys.OptaneHM().WithFastSize(2 * peak), policy: "fast-only", steps: 2})
 		for _, pct := range pcts {
-			spec := memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak)))
-			run, err := runOne(m.Name, m.SmallBatch, spec, "sentinel", o.steps())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, pctOf(run.SteadyStepTime(), base))
+			cells = append(cells, cellRun{model: m.Name, batch: m.SmallBatch,
+				spec:   memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak))),
+				policy: "sentinel", steps: o.steps()})
+		}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		group := runs[i*stride : (i+1)*stride]
+		base := group[0].SteadyStepTime()
+		row := []string{m.Name}
+		for k := 1; k < stride; k++ {
+			row = append(row, pctOf(group[k].SteadyStepTime(), base))
 		}
 		t.AddRow(row...)
 	}
@@ -247,7 +273,9 @@ func Fig10(o Options) (*Table, error) {
 }
 
 // Fig11 reports, for each ResNet variant, the minimum fast memory size at
-// which Sentinel matches fast-only within 5% (paper Fig. 11).
+// which Sentinel matches fast-only within 5% (paper Fig. 11). Each variant
+// is one pool cell; the capacity search inside a cell is sequential
+// because each probe depends on the previous one stopping the search.
 func Fig11(o Options) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
@@ -260,23 +288,28 @@ func Fig11(o Options) (*Table, error) {
 	if o.Quick {
 		variants = variants[:3]
 	}
-	for _, v := range variants {
+	type result struct {
+		peak   int64
+		minPct float64
+	}
+	results, err := runCells(o, len(variants), func(i int) (result, error) {
+		v := variants[i]
 		name := fmt.Sprintf("resnet%d", v.depth)
-		g, err := model.ResNet(v.depth, v.batch)
+		peak, err := o.peak(name, v.batch)
 		if err != nil {
-			return nil, err
+			return result{}, err
 		}
-		peak := g.PeakMemory()
-		fastSpec := memsys.OptaneHM().WithFastSize(2 * peak)
-		fast, err := runOne(name, v.batch, fastSpec, "fast-only", 2)
+		fast, err := o.run(cellRun{model: name, batch: v.batch,
+			spec: memsys.OptaneHM().WithFastSize(2 * peak), policy: "fast-only", steps: 2})
 		if err != nil {
-			return nil, err
+			return result{}, err
 		}
 		target := fast.SteadyStepTime() * 105 / 100
 		minPct := 0.0
 		for pct := 15.0; pct <= 100; pct += 5 {
-			spec := memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak)))
-			run, err := runOne(name, v.batch, spec, "sentinel", o.steps())
+			run, err := o.run(cellRun{model: name, batch: v.batch,
+				spec:   memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak))),
+				policy: "sentinel", steps: o.steps()})
 			if err != nil {
 				continue
 			}
@@ -285,13 +318,20 @@ func Fig11(o Options) (*Table, error) {
 				break
 			}
 		}
+		return result{peak: peak, minPct: minPct}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		r := results[i]
 		cell := "n/a"
 		frac := "n/a"
-		if minPct > 0 {
-			cell = simtime.Bytes(int64(minPct / 100 * float64(peak)))
-			frac = fmt.Sprintf("%.0f%%", minPct)
+		if r.minPct > 0 {
+			cell = simtime.Bytes(int64(r.minPct / 100 * float64(r.peak)))
+			frac = fmt.Sprintf("%.0f%%", r.minPct)
 		}
-		t.AddRow(fmt.Sprintf("%s (b=%d)", name, v.batch), simtime.Bytes(peak), cell, frac)
+		t.AddRow(fmt.Sprintf("resnet%d (b=%d)", v.depth, v.batch), simtime.Bytes(r.peak), cell, frac)
 	}
 	t.AddNote("paper: peak memory grows much faster across variants than the fast memory Sentinel needs")
 	return t, nil
@@ -306,12 +346,16 @@ func Table3(o Options) (*Table, error) {
 		Header: []string{"model", "batch", "layers", "tensors", "peak memory",
 			"overhead steps", "profiled-step slowdown", "memory overhead"},
 	}
-	for _, m := range model.EvalSet() {
+	ms := model.EvalSet()
+	rows, err := runCells(o, len(ms), func(i int) ([]string, error) {
+		m := ms[i]
+		// This cell needs the live policy instance (OverheadSteps), so
+		// it runs the runtime directly instead of a cached cellRun.
 		g, err := model.Build(m.Name, m.SmallBatch)
 		if err != nil {
 			return nil, err
 		}
-		spec, _, err := fastSized(m.Name, m.SmallBatch, fastPct)
+		spec, _, err := o.fastSized(m.Name, m.SmallBatch, fastPct)
 		if err != nil {
 			return nil, err
 		}
@@ -334,12 +378,18 @@ func Table3(o Options) (*Table, error) {
 		if memOverhead < 0 {
 			memOverhead = 0
 		}
-		t.AddRow(m.Name, fmt.Sprintf("%d", m.SmallBatch),
+		return []string{m.Name, fmt.Sprintf("%d", m.SmallBatch),
 			fmt.Sprintf("%d", g.NumLayers), fmt.Sprintf("%d", len(g.Tensors)),
 			simtime.Bytes(g.PeakMemory()),
 			fmt.Sprintf("%d", s.OverheadSteps()),
 			fmt.Sprintf("%.1fx", slowdown),
-			fmt.Sprintf("%.1f%%", 100*memOverhead))
+			fmt.Sprintf("%.1f%%", 100*memOverhead)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper: 1.8 overhead steps on average, profiled step up to 5x slower, memory overhead at most 2.4%%")
 	return t, nil
@@ -354,18 +404,27 @@ func Table4(o Options) (*Table, error) {
 		Title:  "migrated bytes per training step (small batch, fast = 20% of peak)",
 		Header: []string{"model", "ial", "autotm", "sentinel"},
 	}
-	for _, m := range model.EvalSet() {
-		spec, _, err := fastSized(m.Name, m.SmallBatch, fastPct)
+	ms := model.EvalSet()
+	pols := []string{"ial", "autotm", "sentinel"}
+	var cells []cellRun
+	for _, m := range ms {
+		spec, _, err := o.fastSized(m.Name, m.SmallBatch, fastPct)
 		if err != nil {
 			return nil, err
 		}
+		for _, p := range pols {
+			cells = append(cells, cellRun{model: m.Name, batch: m.SmallBatch,
+				spec: spec, policy: p, steps: o.steps()})
+		}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
 		row := []string{m.Name}
-		for _, p := range []string{"ial", "autotm", "sentinel"} {
-			run, err := runOne(m.Name, m.SmallBatch, spec, p, o.steps())
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, simtime.Bytes(run.SteadyStep().MigratedTotal()))
+		for k := 0; k < len(pols); k++ {
+			row = append(row, simtime.Bytes(runs[i*len(pols)+k].SteadyStep().MigratedTotal()))
 		}
 		t.AddRow(row...)
 	}
@@ -380,27 +439,31 @@ func Characterization(o Options) (*Table, error) {
 		Header: []string{"model", "tensors", "short-lived", "sub-page among short",
 			"hot set (>100 accesses)", "false-sharing bytes", "profiled-step slowdown"},
 	}
-	for _, m := range model.EvalSet() {
-		g, err := model.Build(m.Name, m.SmallBatch)
+	ms := model.EvalSet()
+	rows, err := runCells(o, len(ms), func(i int) ([]string, error) {
+		m := ms[i]
+		c, err := o.characterize(m.Name, m.SmallBatch, memsys.OptaneHM())
 		if err != nil {
 			return nil, err
 		}
-		c, err := profile.Characterize(g, memsys.OptaneHM())
-		if err != nil {
-			return nil, err
-		}
-		p, err := profile.Collect(g, memsys.OptaneHM())
+		p, err := o.collectProfile(m.Name, m.SmallBatch, memsys.OptaneHM())
 		if err != nil {
 			return nil, err
 		}
 		slowdown := float64(p.StepTime) / float64(p.StepTime-p.FaultTime)
-		t.AddRow(m.Name,
+		return []string{m.Name,
 			fmt.Sprintf("%d", c.Tensors),
 			fmt.Sprintf("%.1f%%", 100*c.ShortLivedFraction()),
 			fmt.Sprintf("%.1f%%", 100*c.SmallFraction()),
 			simtime.Bytes(c.TensorBytes[profile.BucketHot]),
 			simtime.Bytes(c.FalseSharingBytes),
-			fmt.Sprintf("%.1fx", slowdown))
+			fmt.Sprintf("%.1fx", slowdown)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.AddNote("paper (resnet32): 92%% of tensors short-lived, 98%% of those sub-page, hot set ~4 MB")
 	return t, nil
@@ -425,30 +488,36 @@ func Fig7Extended(o Options) (*Table, error) {
 	if o.Quick {
 		configs = configs[:3]
 	}
+	pols := []string{"slow-only", "ial", "autotm", "sentinel", "fast-only"}
+	var cells []cellRun
 	for _, cfg := range configs {
-		spec, peak, err := fastSized(cfg.name, cfg.batch, fastPct)
+		spec, peak, err := o.fastSized(cfg.name, cfg.batch, fastPct)
 		if err != nil {
 			return nil, err
 		}
-		slow, err := runOne(cfg.name, cfg.batch, spec, "slow-only", 2)
-		if err != nil {
-			return nil, err
-		}
-		base := slow.SteadyStepTime()
-		row := []string{fmt.Sprintf("%s (b=%d)", cfg.name, cfg.batch)}
-		for _, p := range []string{"ial", "autotm", "sentinel"} {
-			run, err := runOne(cfg.name, cfg.batch, spec, p, o.steps())
-			if err != nil {
-				return nil, err
+		for _, p := range pols {
+			c := cellRun{model: cfg.name, batch: cfg.batch, spec: spec, policy: p, steps: o.steps()}
+			switch p {
+			case "slow-only":
+				c.steps = 2
+			case "fast-only":
+				c.steps = 2
+				c.spec = memsys.OptaneHM().WithFastSize(2 * peak)
 			}
-			row = append(row, speedup(base, run.SteadyStepTime()))
+			cells = append(cells, c)
 		}
-		fastSpec := memsys.OptaneHM().WithFastSize(2 * peak)
-		fast, err := runOne(cfg.name, cfg.batch, fastSpec, "fast-only", 2)
-		if err != nil {
-			return nil, err
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, cfg := range configs {
+		group := runs[i*len(pols) : (i+1)*len(pols)]
+		base := group[0].SteadyStepTime()
+		row := []string{fmt.Sprintf("%s (b=%d)", cfg.name, cfg.batch)}
+		for k := 1; k < len(pols); k++ {
+			row = append(row, speedup(base, group[k].SteadyStepTime()))
 		}
-		row = append(row, speedup(base, fast.SteadyStepTime()))
 		t.AddRow(row...)
 	}
 	t.AddNote("not in the paper: the same ordering holds on architectures the paper never evaluated")
@@ -465,31 +534,38 @@ func Fig7CXL(o Options) (*Table, error) {
 		Title:  "speedup over slow-only with CXL-attached slow memory (fast = 20% of peak)",
 		Header: []string{"model", "ial", "autotm", "sentinel", "fast-only (ref)"},
 	}
-	for _, m := range model.EvalSet() {
-		g, err := model.Build(m.Name, m.SmallBatch)
+	ms := model.EvalSet()
+	pols := []string{"slow-only", "ial", "autotm", "sentinel", "fast-only"}
+	var cells []cellRun
+	for _, m := range ms {
+		peak, err := o.peak(m.Name, m.SmallBatch)
 		if err != nil {
 			return nil, err
 		}
-		peak := g.PeakMemory()
 		spec := memsys.CXLHM().WithFastSize(peak / 5)
-		slow, err := runOne(m.Name, m.SmallBatch, spec, "slow-only", 2)
-		if err != nil {
-			return nil, err
-		}
-		base := slow.SteadyStepTime()
-		row := []string{fmt.Sprintf("%s (b=%d)", m.Name, m.SmallBatch)}
-		for _, p := range []string{"ial", "autotm", "sentinel"} {
-			run, err := runOne(m.Name, m.SmallBatch, spec, p, o.steps())
-			if err != nil {
-				return nil, err
+		for _, p := range pols {
+			c := cellRun{model: m.Name, batch: m.SmallBatch, spec: spec, policy: p, steps: o.steps()}
+			switch p {
+			case "slow-only":
+				c.steps = 2
+			case "fast-only":
+				c.steps = 2
+				c.spec = memsys.CXLHM().WithFastSize(2 * peak)
 			}
-			row = append(row, speedup(base, run.SteadyStepTime()))
+			cells = append(cells, c)
 		}
-		fast, err := runOne(m.Name, m.SmallBatch, memsys.CXLHM().WithFastSize(2*peak), "fast-only", 2)
-		if err != nil {
-			return nil, err
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range ms {
+		group := runs[i*len(pols) : (i+1)*len(pols)]
+		base := group[0].SteadyStepTime()
+		row := []string{fmt.Sprintf("%s (b=%d)", m.Name, m.SmallBatch)}
+		for k := 1; k < len(pols); k++ {
+			row = append(row, speedup(base, group[k].SteadyStepTime()))
 		}
-		row = append(row, speedup(base, fast.SteadyStepTime()))
 		t.AddRow(row...)
 	}
 	t.AddNote("not in the paper: CXL's better write path compresses the spread the paper measured on Optane")

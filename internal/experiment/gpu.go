@@ -6,15 +6,41 @@ import (
 
 	"sentinel/internal/baseline"
 	"sentinel/internal/exec"
-	"sentinel/internal/gpu"
 	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
 	"sentinel/internal/model"
-	"sentinel/internal/policyset"
 	"sentinel/internal/simtime"
 )
 
 // gpuPolicies is the Figure 12 policy set, worst to best in the paper.
 var gpuPolicies = []string{"um", "vdnn", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"}
+
+// gpuGrid is one (model, batch) × policies slab of a GPU sweep. The cells
+// run through the pool; ErrOOM is tolerated per cell (the paper reports
+// "oom" for configurations a policy cannot fit), anything else aborts.
+type gpuGrid struct {
+	cells []cellRun
+	runs  []*metrics.RunStats
+	errs  []error
+	next  int
+}
+
+// add queues one cell.
+func (g *gpuGrid) add(c cellRun) { g.cells = append(g.cells, c) }
+
+// runAll executes the queued cells through the pool.
+func (g *gpuGrid) runAll(o Options) {
+	g.runs, g.errs = runCellsErr(o, len(g.cells), func(i int) (*metrics.RunStats, error) {
+		return o.run(g.cells[i])
+	})
+}
+
+// take consumes the next result in submission order.
+func (g *gpuGrid) take() (cellRun, *metrics.RunStats, error) {
+	c, r, err := g.cells[g.next], g.runs[g.next], g.errs[g.next]
+	g.next++
+	return c, r, err
+}
 
 // Fig12 measures GPU training throughput for five models at three batch
 // sizes each, normalized to Unified Memory (paper Fig. 12).
@@ -26,13 +52,29 @@ func Fig12(o Options) (*Table, error) {
 	}
 	spec := memsys.GPUHM()
 	models := model.GPUEvalSet()
+	var grid gpuGrid
 	for _, m := range models {
 		batches := m.Batches[:]
 		if o.Quick {
 			batches = m.Batches[2:]
 		}
 		for _, batch := range batches {
-			umRun, err := runOne(m.Name, batch, spec, "um", o.steps())
+			for _, p := range gpuPolicies {
+				if p == "vdnn" && !baseline.Supported(m.Name) {
+					continue
+				}
+				grid.add(cellRun{model: m.Name, batch: batch, spec: spec, policy: p, steps: o.steps()})
+			}
+		}
+	}
+	grid.runAll(o)
+	for _, m := range models {
+		batches := m.Batches[:]
+		if o.Quick {
+			batches = m.Batches[2:]
+		}
+		for _, batch := range batches {
+			_, umRun, err := grid.take()
 			if err != nil {
 				return nil, err
 			}
@@ -43,13 +85,13 @@ func Fig12(o Options) (*Table, error) {
 					row = append(row, "n/a")
 					continue
 				}
-				run, err := runOne(m.Name, batch, spec, p, o.steps())
+				c, run, err := grid.take()
 				if err != nil {
 					if errors.Is(err, exec.ErrOOM) {
 						row = append(row, "oom")
 						continue
 					}
-					return nil, fmt.Errorf("%s %s b%d: %w", p, m.Name, batch, err)
+					return nil, fmt.Errorf("%s %s b%d: %w", p, c.model, c.batch, err)
 				}
 				row = append(row, speedup(base, run.SteadyStepTime()))
 			}
@@ -75,26 +117,30 @@ func Fig13(o Options) (*Table, error) {
 	if o.Quick {
 		models = models[:2]
 	}
+	var grid gpuGrid
 	for _, m := range models {
-		batch := m.Batches[2]
 		for _, p := range policies {
 			if p == "vdnn" && !baseline.Supported(m.Name) {
 				continue
 			}
-			run, err := runOne(m.Name, batch, spec, p, o.steps())
-			if err != nil {
-				if errors.Is(err, exec.ErrOOM) {
-					t.AddRow(m.Name, p, "oom", "", "", "")
-					continue
-				}
-				return nil, fmt.Errorf("%s %s b%d: %w", p, m.Name, batch, err)
-			}
-			st := run.SteadyStep()
-			t.AddRow(m.Name, p, st.Duration.String(),
-				fmt.Sprintf("%s (%s)", st.StallTime, pctOf(st.StallTime, st.Duration)),
-				fmt.Sprintf("%s (%s)", st.RecomputeTime, pctOf(st.RecomputeTime, st.Duration)),
-				simtime.Bytes(st.MigratedTotal()))
+			grid.add(cellRun{model: m.Name, batch: m.Batches[2], spec: spec, policy: p, steps: o.steps()})
 		}
+	}
+	grid.runAll(o)
+	for range grid.cells {
+		c, run, err := grid.take()
+		if err != nil {
+			if errors.Is(err, exec.ErrOOM) {
+				t.AddRow(c.model, c.policy, "oom", "", "", "")
+				continue
+			}
+			return nil, fmt.Errorf("%s %s b%d: %w", c.policy, c.model, c.batch, err)
+		}
+		st := run.SteadyStep()
+		t.AddRow(c.model, c.policy, st.Duration.String(),
+			fmt.Sprintf("%s (%s)", st.StallTime, pctOf(st.StallTime, st.Duration)),
+			fmt.Sprintf("%s (%s)", st.RecomputeTime, pctOf(st.RecomputeTime, st.Duration)),
+			simtime.Bytes(st.MigratedTotal()))
 	}
 	t.AddNote("sentinel-gpu-direct = no migration intervals, no reserved pool, no co-allocation; sentinel-gpu-detmi = model-chosen interval only (Fig. 13's 'w/ det. MI')")
 	return t, nil
@@ -114,11 +160,38 @@ func Table5(o Options) (*Table, error) {
 		limit = 1 << 10
 	}
 	policies := []string{"fast-only", "vdnn", "swapadvisor", "autotm", "capuchin", "sentinel-gpu"}
-	var tfSum, sentinelSum float64
 	models := model.GPUEvalSet()
 	if o.Quick {
 		models = models[:2]
 	}
+	// One max-batch search per (model, policy) cell; unsupported vdnn
+	// combinations are skipped, matching the serial table shape.
+	type cell struct {
+		m model.GPUEvalModel
+		p string
+	}
+	var cells []cell
+	for _, m := range models {
+		for _, p := range policies {
+			if p == "vdnn" && !baseline.Supported(m.Name) {
+				continue
+			}
+			cells = append(cells, cell{m, p})
+		}
+	}
+	maxes, err := runCells(o, len(cells), func(i int) (int, error) {
+		c := cells[i]
+		max, err := o.maxBatch(c.m.Name, spec, c.p, limit)
+		if err != nil {
+			return 0, fmt.Errorf("max batch %s %s: %w", c.p, c.m.Name, err)
+		}
+		return max, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tfSum, sentinelSum float64
+	next := 0
 	for _, m := range models {
 		row := []string{m.Name}
 		var tfBatch, sentinelBatch int
@@ -127,17 +200,8 @@ func Table5(o Options) (*Table, error) {
 				row = append(row, "n/a")
 				continue
 			}
-			p := p
-			max, err := gpu.MaxBatch(m.Name, spec, func() exec.Policy {
-				pol, err := policyset.New(p)
-				if err != nil {
-					panic(err)
-				}
-				return pol
-			}, limit)
-			if err != nil {
-				return nil, fmt.Errorf("max batch %s %s: %w", p, m.Name, err)
-			}
+			max := maxes[next]
+			next++
 			row = append(row, fmt.Sprintf("%d", max))
 			switch p {
 			case "fast-only":
@@ -170,20 +234,30 @@ func Fig12A100(o Options) (*Table, error) {
 		Header: append([]string{"model", "batch"}, gpuPolicies[1:]...),
 	}
 	spec := memsys.GPUHM_A100()
-	for _, m := range model.GPUEvalSet() {
-		batch := m.Batches[2]
-		umRun, err := runOne(m.Name, batch, spec, "um", o.steps())
+	models := model.GPUEvalSet()
+	var grid gpuGrid
+	for _, m := range models {
+		for _, p := range gpuPolicies {
+			if p == "vdnn" && !baseline.Supported(m.Name) {
+				continue
+			}
+			grid.add(cellRun{model: m.Name, batch: m.Batches[2], spec: spec, policy: p, steps: o.steps()})
+		}
+	}
+	grid.runAll(o)
+	for _, m := range models {
+		_, umRun, err := grid.take()
 		if err != nil {
 			return nil, err
 		}
 		base := umRun.SteadyStepTime()
-		row := []string{m.Name, fmt.Sprintf("%d", batch)}
+		row := []string{m.Name, fmt.Sprintf("%d", m.Batches[2])}
 		for _, p := range gpuPolicies[1:] {
 			if p == "vdnn" && !baseline.Supported(m.Name) {
 				row = append(row, "n/a")
 				continue
 			}
-			run, err := runOne(m.Name, batch, spec, p, o.steps())
+			_, run, err := grid.take()
 			if err != nil {
 				if errors.Is(err, exec.ErrOOM) {
 					row = append(row, "oom")

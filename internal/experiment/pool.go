@@ -1,0 +1,104 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel experiment executor. Every figure and table is
+// a sweep over independent cells — one (model, policy, machine, capacity)
+// simulation each — so the runners build a flat cell list and submit it
+// through runCells, which fans the cells out over a bounded worker pool.
+// Results come back in submission order regardless of completion order, so
+// the emitted tables are byte-identical to a sequential run.
+
+// Progress observes sweep execution: AddCells announces scheduled cells,
+// CellDone marks one complete. Implementations must be safe for concurrent
+// use by pool workers; *metrics.SweepProgress is the standard one.
+type Progress interface {
+	AddCells(n int)
+	CellDone()
+}
+
+// workers resolves the worker-pool width: Options.Workers if set,
+// otherwise GOMAXPROCS. Workers=1 is the strictly sequential path.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runCells executes fn(i) for every i in [0, n) on up to o.workers()
+// goroutines and returns the results in index order. All cells run even if
+// some fail; the returned error joins every per-cell error (nil if none).
+// Progress, when configured, observes each completed cell.
+func runCells[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if o.Progress != nil {
+		o.Progress.AddCells(n)
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		results[i], errs[i] = fn(i)
+		if errs[i] != nil {
+			errs[i] = fmt.Errorf("cell %d: %w", i, errs[i])
+		}
+		if o.Progress != nil {
+			o.Progress.CellDone()
+		}
+	}
+	if w := o.workers(); w <= 1 {
+		// Sequential path: no goroutines at all, so Workers=1 behaves
+		// exactly like the pre-pool serial code.
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+	} else {
+		if w > n {
+			w = n
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for g := 0; g < w; g++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					run(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return results, errors.Join(errs...)
+}
+
+// runCellsErr is runCells for callers that want per-cell errors back
+// instead of one joined error — Fig. 12/13 tolerate ErrOOM cells and only
+// abort on unexpected failures.
+func runCellsErr[T any](o Options, n int, fn func(i int) (T, error)) ([]T, []error) {
+	type out struct {
+		v   T
+		err error
+	}
+	res, _ := runCells(o, n, func(i int) (out, error) {
+		v, err := fn(i)
+		return out{v, err}, nil
+	})
+	vals := make([]T, n)
+	errs := make([]error, n)
+	for i, r := range res {
+		vals[i], errs[i] = r.v, r.err
+	}
+	return vals, errs
+}

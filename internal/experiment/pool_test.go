@@ -1,0 +1,227 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingProgress records Progress callbacks for assertions.
+type countingProgress struct {
+	mu          sync.Mutex
+	added, done int
+}
+
+func (p *countingProgress) AddCells(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.added += n
+}
+
+func (p *countingProgress) CellDone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+}
+
+func TestRunCells(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		n       int
+		// fail marks cell indices whose fn returns an error.
+		fail map[int]bool
+	}{
+		{name: "sequential", workers: 1, n: 8},
+		{name: "parallel", workers: 4, n: 32},
+		{name: "more-workers-than-cells", workers: 16, n: 3},
+		{name: "default-workers", workers: 0, n: 8},
+		{name: "single-cell", workers: 4, n: 1},
+		{name: "sequential-error", workers: 1, n: 6, fail: map[int]bool{2: true}},
+		{name: "parallel-errors", workers: 4, n: 12, fail: map[int]bool{0: true, 7: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prog := &countingProgress{}
+			o := Options{Workers: tc.workers, Progress: prog}
+			var calls atomic.Int64
+			res, err := runCells(o, tc.n, func(i int) (int, error) {
+				calls.Add(1)
+				// Finish out of submission order: later cells return
+				// faster, so ordered results prove index-keyed storage
+				// rather than completion-order collection.
+				time.Sleep(time.Duration(tc.n-i) * 100 * time.Microsecond)
+				if tc.fail[i] {
+					return 0, fmt.Errorf("boom %d", i)
+				}
+				return i * i, nil
+			})
+			if len(tc.fail) == 0 && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(tc.fail) > 0 {
+				if err == nil {
+					t.Fatal("expected joined error, got nil")
+				}
+				for i := range tc.fail {
+					if want := fmt.Sprintf("cell %d: boom %d", i, i); !contains(err, want) {
+						t.Errorf("error %q missing %q", err, want)
+					}
+				}
+			}
+			if got := calls.Load(); got != int64(tc.n) {
+				t.Fatalf("ran %d cells, want %d (failures must not abort the sweep)", got, tc.n)
+			}
+			if len(res) != tc.n {
+				t.Fatalf("got %d results, want %d", len(res), tc.n)
+			}
+			for i, v := range res {
+				switch {
+				case tc.fail[i] && v != 0:
+					t.Errorf("failed cell %d left non-zero result %d", i, v)
+				case !tc.fail[i] && v != i*i:
+					t.Errorf("res[%d] = %d, want %d", i, v, i*i)
+				}
+			}
+			if prog.added != tc.n || prog.done != tc.n {
+				t.Errorf("progress saw added=%d done=%d, want %d/%d", prog.added, prog.done, tc.n, tc.n)
+			}
+		})
+	}
+}
+
+func contains(err error, sub string) bool {
+	return err != nil && strings.Contains(err.Error(), sub)
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	res, err := runCells(Options{Workers: 4}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || res != nil {
+		t.Fatalf("empty sweep: res=%v err=%v", res, err)
+	}
+}
+
+// TestRunCellsSequentialOrder proves Workers=1 executes cells strictly in
+// submission order on the calling goroutine — the pre-pool serial behavior.
+func TestRunCellsSequentialOrder(t *testing.T) {
+	var order []int
+	_, err := runCells(Options{Workers: 1}, 10, func(i int) (int, error) {
+		order = append(order, i) // safe: sequential path has no goroutines
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential execution order %v", order)
+		}
+	}
+}
+
+func TestRunCellsErr(t *testing.T) {
+	sentinel := errors.New("oom")
+	vals, errs := runCellsErr(Options{Workers: 4}, 5, func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, fmt.Errorf("cell: %w", sentinel)
+		}
+		return i + 100, nil
+	})
+	for i := 0; i < 5; i++ {
+		if i%2 == 1 {
+			if !errors.Is(errs[i], sentinel) {
+				t.Errorf("errs[%d] = %v, want wrapped sentinel", i, errs[i])
+			}
+		} else if errs[i] != nil || vals[i] != i+100 {
+			t.Errorf("cell %d: val=%d err=%v", i, vals[i], errs[i])
+		}
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache()
+	var computes atomic.Int64
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]any, callers)
+	for g := 0; g < callers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.do("k", func() (any, error) {
+				computes.Add(1)
+				time.Sleep(time.Millisecond)
+				return "value", nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+			}
+			results[g] = v
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want 1 (singleflight)", n)
+	}
+	for g, v := range results {
+		if v != "value" {
+			t.Errorf("caller %d saw %v", g, v)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d keys, want 1", c.Len())
+	}
+}
+
+func TestCacheDoBypass(t *testing.T) {
+	c := NewCache()
+	var computes int
+	compute := func() (int, error) { computes++; return 42, nil }
+
+	// NoCache computes every time, even with a cache attached.
+	o := Options{Cache: c, NoCache: true}
+	for i := 0; i < 3; i++ {
+		if v, err := cacheDo(o, "k", compute); err != nil || v != 42 {
+			t.Fatalf("v=%d err=%v", v, err)
+		}
+	}
+	if computes != 3 || c.Len() != 0 {
+		t.Fatalf("NoCache path: computes=%d cached keys=%d", computes, c.Len())
+	}
+
+	// With the cache enabled, the second call is a hit.
+	computes = 0
+	o = Options{Cache: c}
+	for i := 0; i < 3; i++ {
+		if v, err := cacheDo(o, "k", compute); err != nil || v != 42 {
+			t.Fatalf("v=%d err=%v", v, err)
+		}
+	}
+	if computes != 1 || c.Len() != 1 {
+		t.Fatalf("cached path: computes=%d cached keys=%d", computes, c.Len())
+	}
+}
+
+func TestCacheDoError(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	calls := 0
+	for i := 0; i < 2; i++ {
+		_, err := cacheDo(Options{Cache: c}, "bad", func() (int, error) {
+			calls++
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("error computed %d times; errors memoize like values", calls)
+	}
+}

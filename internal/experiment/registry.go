@@ -41,13 +41,16 @@ var extras = map[string]bool{
 	"fig9series": true, "fig12-a100": true, "fig7-extended": true, "fig7-cxl": true,
 }
 
-// Run executes the named experiment.
+// Run executes the named experiment. The runner fans its cells out over
+// the worker pool (Options.Workers wide) and memoizes shared stages in
+// Options.Cache — a fresh per-experiment cache is created here unless the
+// caller shares one across experiments or disables caching.
 func Run(id string, o Options) (*Table, error) {
 	f, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
 	}
-	return f(o)
+	return f(o.normalized())
 }
 
 // IDs lists experiment ids in presentation order. Raw-dump experiments

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 
-	"sentinel/internal/exec"
 	"sentinel/internal/simtime"
 )
 
@@ -18,17 +17,23 @@ func Fig9Series(o Options) (*Table, error) {
 		Title:  "bandwidth trace series during resnet32 training (one steady step)",
 		Header: []string{"policy", "t_ms", "fast_GBps", "slow_GBps", "migration_GBps"},
 	}
-	spec, _, err := fastSized("resnet32", 128, fastPct)
+	spec, _, err := o.fastSized("resnet32", 128, fastPct)
 	if err != nil {
 		return nil, err
 	}
 	const width = 5 * simtime.Millisecond
-	for _, p := range []string{"ial", "sentinel"} {
-		run, err := runOne("resnet32", 128, spec, p, o.steps(), exec.WithBWTrace(width))
-		if err != nil {
-			return nil, err
-		}
-		st := run.SteadyStep()
+	pols := []string{"ial", "sentinel"}
+	cells := make([]cellRun, len(pols))
+	for i, p := range pols {
+		cells[i] = cellRun{model: "resnet32", batch: 128, spec: spec,
+			policy: p, steps: o.steps(), trace: width}
+	}
+	runs, err := o.runAll(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pols {
+		st := runs[i].SteadyStep()
 		if st.Trace == nil {
 			continue
 		}

@@ -10,12 +10,6 @@ import (
 	"fmt"
 	"strings"
 
-	"sentinel/internal/exec"
-	"sentinel/internal/graph"
-	"sentinel/internal/memsys"
-	"sentinel/internal/metrics"
-	"sentinel/internal/model"
-	"sentinel/internal/policyset"
 	"sentinel/internal/simtime"
 )
 
@@ -89,6 +83,20 @@ type Options struct {
 	Steps int
 	// Quick trims sweeps (fewer points, smaller searches) for CI use.
 	Quick bool
+	// Workers bounds how many experiment cells run concurrently:
+	// 0 = GOMAXPROCS, 1 = strictly sequential. Emitted tables are
+	// byte-identical regardless of the setting.
+	Workers int
+	// NoCache disables the plan cache so every cell recomputes from
+	// scratch — the -seq reference path.
+	NoCache bool
+	// Cache memoizes profiling runs and plan construction across cells.
+	// Leave nil to have Run create a per-experiment cache; share one
+	// across experiments to deduplicate a whole sweep.
+	Cache *Cache
+	// Progress, when non-nil, observes cell scheduling and completion
+	// (metrics.NewSweepProgress renders a live counter).
+	Progress Progress
 }
 
 // DefaultOptions returns the full-fidelity settings.
@@ -101,25 +109,13 @@ func (o Options) steps() int {
 	return o.Steps
 }
 
-// runOne executes one (model, batch, policy, fast-size) configuration and
-// returns its run stats.
-func runOne(modelName string, batch int, spec memsys.Spec, policy string, steps int, opts ...exec.Option) (*metrics.RunStats, error) {
-	g, err := model.Build(modelName, batch)
-	if err != nil {
-		return nil, err
+// normalized fills derived defaults: a fresh plan cache unless caching is
+// disabled or the caller supplied a shared one.
+func (o Options) normalized() Options {
+	if o.Cache == nil && !o.NoCache {
+		o.Cache = NewCache()
 	}
-	return policyset.Run(g, spec, policy, steps, opts...)
-}
-
-// fastSized returns the Optane spec with fast memory set to pct% of the
-// model's peak memory.
-func fastSized(modelName string, batch int, pct float64) (memsys.Spec, int64, error) {
-	g, err := model.Build(modelName, batch)
-	if err != nil {
-		return memsys.Spec{}, 0, err
-	}
-	peak := g.PeakMemory()
-	return memsys.OptaneHM().WithFastSize(int64(pct / 100 * float64(peak))), peak, nil
+	return o
 }
 
 // speedup formats a/b as "1.23x".
@@ -137,6 +133,3 @@ func pctOf(x, base simtime.Duration) string {
 	}
 	return fmt.Sprintf("%.1f%%", 100*float64(x)/float64(base))
 }
-
-// graph import anchor for helpers below.
-var _ *graph.Graph

@@ -3,11 +3,7 @@ package experiment
 import (
 	"fmt"
 
-	"sentinel/internal/exec"
-	"sentinel/internal/gpu"
 	"sentinel/internal/memsys"
-	"sentinel/internal/model"
-	"sentinel/internal/policyset"
 	"sentinel/internal/profile"
 	"sentinel/internal/simtime"
 )
@@ -23,8 +19,10 @@ type Check struct {
 // Validate runs the reproduction's shape checks: each is a claim from the
 // paper that must hold in this simulation (with the tolerances documented
 // in EXPERIMENTS.md). Used by cmd/sentinel-validate as a one-command
-// self-check.
+// self-check. Independent simulation groups fan out over the worker pool;
+// the check list itself is assembled in a fixed order.
 func Validate(o Options) ([]Check, error) {
+	o = o.normalized()
 	var checks []Check
 	add := func(name, claim string, pass bool, format string, args ...any) {
 		checks = append(checks, Check{
@@ -33,11 +31,7 @@ func Validate(o Options) ([]Check, error) {
 	}
 
 	// Observation 1 & 3 — tensor population and false sharing.
-	g, err := model.Build("resnet32", 128)
-	if err != nil {
-		return nil, err
-	}
-	c, err := profile.Characterize(g, memsys.OptaneHM())
+	c, err := o.characterize("resnet32", 128, memsys.OptaneHM())
 	if err != nil {
 		return nil, err
 	}
@@ -52,23 +46,28 @@ func Validate(o Options) ([]Check, error) {
 		"%s misattributed", simtime.Bytes(c.FalseSharingBytes))
 
 	// Fig. 7 — CPU ordering and the fast-only gap.
-	spec, peak, err := fastSized("resnet32", 128, fastPct)
+	spec, peak, err := o.fastSized("resnet32", 128, fastPct)
+	if err != nil {
+		return nil, err
+	}
+	cpuPolicies := []string{"slow-only", "ial", "autotm", "memory-mode", "first-touch", "sentinel"}
+	cells := make([]cellRun, 0, len(cpuPolicies)+2)
+	for _, p := range cpuPolicies {
+		cells = append(cells, cellRun{model: "resnet32", batch: 128, spec: spec, policy: p, steps: o.steps()})
+	}
+	cells = append(cells, cellRun{model: "resnet32", batch: 128,
+		spec: memsys.OptaneHM().WithFastSize(2 * peak), policy: "fast-only", steps: 2})
+	// Table III — overhead accounting via a fresh (3-step) Sentinel run.
+	cells = append(cells, cellRun{model: "resnet32", batch: 128, spec: spec, policy: "sentinel", steps: 3})
+	runs, err := o.runAll(cells)
 	if err != nil {
 		return nil, err
 	}
 	times := map[string]simtime.Duration{}
-	for _, p := range []string{"slow-only", "ial", "autotm", "memory-mode", "first-touch", "sentinel"} {
-		run, err := runOne("resnet32", 128, spec, p, o.steps())
-		if err != nil {
-			return nil, err
-		}
-		times[p] = run.SteadyStepTime()
+	for i, p := range cpuPolicies {
+		times[p] = runs[i].SteadyStepTime()
 	}
-	fastRun, err := runOne("resnet32", 128, memsys.OptaneHM().WithFastSize(2*peak), "fast-only", 2)
-	if err != nil {
-		return nil, err
-	}
-	fast := fastRun.SteadyStepTime()
+	fast := runs[len(cpuPolicies)].SteadyStepTime()
 	add("fig7-ordering", "sentinel > autotm > memory-mode > ial > first-touch > slow-only",
 		times["sentinel"] < times["autotm"] &&
 			times["autotm"] < times["memory-mode"] &&
@@ -81,27 +80,28 @@ func Validate(o Options) ([]Check, error) {
 	add("fig7-gap", "sentinel at 20% fast stays near fast-only",
 		gap < 0.35, "gap %.1f%% (paper: 9%% mean; documented tolerance 35%% per-model)", 100*gap)
 
-	// Table III — overhead accounting via a fresh Sentinel run.
-	profRun, err := runOne("resnet32", 128, spec, "sentinel", 3)
-	if err != nil {
-		return nil, err
-	}
+	profRun := runs[len(cpuPolicies)+1]
 	slowdown := float64(profRun.Steps[0].Duration) / float64(profRun.SteadyStepTime())
 	add("table3-profiling-cost", "the profiled step is at most ~5x a normal step",
 		slowdown > 1.1 && slowdown < 6.5, "%.1fx", slowdown)
 
 	// GPU shape checks at an over-capacity batch.
 	gspec := memsys.GPUHM()
+	gpuChecks := []string{"um", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"}
+	gcells := make([]cellRun, len(gpuChecks))
+	for i, p := range gpuChecks {
+		gcells[i] = cellRun{model: "resnet200", batch: 128, spec: gspec, policy: p, steps: o.steps()}
+	}
+	gruns, err := o.runAll(gcells)
+	if err != nil {
+		return nil, err
+	}
 	gtimes := map[string]*struct {
 		dur   simtime.Duration
 		stall simtime.Duration
 	}{}
-	for _, p := range []string{"um", "autotm", "swapadvisor", "capuchin", "sentinel-gpu"} {
-		run, err := runOne("resnet200", 128, gspec, p, o.steps())
-		if err != nil {
-			return nil, err
-		}
-		st := run.SteadyStep()
+	for i, p := range gpuChecks {
+		st := gruns[i].SteadyStep()
 		gtimes[p] = &struct {
 			dur   simtime.Duration
 			stall simtime.Duration
@@ -121,28 +121,19 @@ func Validate(o Options) ([]Check, error) {
 		"sentinel %v vs autotm %v swapadvisor %v",
 		gtimes["sentinel-gpu"].stall, gtimes["autotm"].stall, gtimes["swapadvisor"].stall)
 
-	// Table V — max batch over plain TensorFlow.
+	// Table V — max batch over plain TensorFlow; the two searches are
+	// independent cells.
 	limit := 1 << 10
-	tfMax, err := gpu.MaxBatch("resnet200", gspec, mustPolicy("fast-only"), limit)
+	batchPolicies := []string{"fast-only", "sentinel-gpu"}
+	maxes, err := runCells(o, len(batchPolicies), func(i int) (int, error) {
+		return o.maxBatch("resnet200", gspec, batchPolicies[i], limit)
+	})
 	if err != nil {
 		return nil, err
 	}
-	sMax, err := gpu.MaxBatch("resnet200", gspec, mustPolicy("sentinel-gpu"), limit)
-	if err != nil {
-		return nil, err
-	}
+	tfMax, sMax := maxes[0], maxes[1]
 	add("table5-batch", "sentinel-gpu trains much larger batches than plain TF",
 		sMax >= 2*tfMax, "sentinel %d vs tf %d", sMax, tfMax)
 
 	return checks, nil
-}
-
-func mustPolicy(name string) func() exec.Policy {
-	return func() exec.Policy {
-		p, err := policyset.New(name)
-		if err != nil {
-			panic(err) // names above are registry constants
-		}
-		return p
-	}
 }

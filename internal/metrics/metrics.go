@@ -7,6 +7,9 @@ package metrics
 
 import (
 	"fmt"
+	"io"
+	"sync"
+	"time"
 
 	"sentinel/internal/memsys"
 	"sentinel/internal/simtime"
@@ -104,4 +107,64 @@ func (r *RunStats) TotalTime() simtime.Duration {
 		t += s.Duration
 	}
 	return t
+}
+
+// SweepProgress tracks an experiment sweep: cells completed out of cells
+// scheduled, plus host wall-clock elapsed. It is safe for concurrent use
+// by worker-pool goroutines. With a non-nil writer it renders a live
+// carriage-return counter; with a nil writer it only counts (for tests and
+// non-interactive runs).
+type SweepProgress struct {
+	mu          sync.Mutex
+	w           io.Writer
+	start       time.Time
+	done, total int
+	dirty       bool // a live line is on screen and unterminated
+}
+
+// NewSweepProgress starts a progress tracker; w may be nil.
+func NewSweepProgress(w io.Writer) *SweepProgress {
+	return &SweepProgress{w: w, start: time.Now()}
+}
+
+// AddCells announces n more scheduled cells.
+func (p *SweepProgress) AddCells(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.total += n
+}
+
+// CellDone marks one cell complete and refreshes the live line.
+func (p *SweepProgress) CellDone() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if p.w != nil {
+		fmt.Fprintf(p.w, "\r%d/%d cells (%v)", p.done, p.total,
+			time.Since(p.start).Round(time.Millisecond))
+		p.dirty = true
+	}
+}
+
+// Break terminates the live line (before other output interleaves).
+func (p *SweepProgress) Break() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dirty {
+		fmt.Fprintln(p.w)
+		p.dirty = false
+	}
+}
+
+// Snapshot returns cells done, cells scheduled, and wall-clock elapsed.
+func (p *SweepProgress) Snapshot() (done, total int, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.done, p.total, time.Since(p.start)
+}
+
+// Summary renders a final one-line accounting of the sweep.
+func (p *SweepProgress) Summary() string {
+	done, total, elapsed := p.Snapshot()
+	return fmt.Sprintf("%d/%d cells in %v", done, total, elapsed.Round(time.Millisecond))
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"strings"
+	"sync"
 	"testing"
 
 	"sentinel/internal/simtime"
@@ -36,5 +38,57 @@ func TestRunStats(t *testing.T) {
 	}
 	if r.TotalTime() != 3*simtime.Second {
 		t.Fatal("total time wrong")
+	}
+}
+
+func TestSweepProgress(t *testing.T) {
+	var buf strings.Builder
+	p := NewSweepProgress(&buf)
+	p.AddCells(3)
+	p.CellDone()
+	p.AddCells(2)
+	p.CellDone()
+	if done, total, _ := p.Snapshot(); done != 2 || total != 5 {
+		t.Fatalf("snapshot %d/%d, want 2/5", done, total)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\r1/3 cells") || !strings.Contains(out, "\r2/5 cells") {
+		t.Fatalf("live line wrong: %q", out)
+	}
+	if strings.Contains(out, "\n") {
+		t.Fatalf("live line terminated early: %q", out)
+	}
+	p.Break()
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Fatal("Break should terminate the live line")
+	}
+	before := len(buf.String())
+	p.Break() // idempotent: nothing on screen now
+	if len(buf.String()) != before {
+		t.Fatal("second Break wrote output")
+	}
+	if s := p.Summary(); !strings.Contains(s, "2/5 cells") {
+		t.Fatalf("summary %q", s)
+	}
+}
+
+// TestSweepProgressConcurrent exercises the counters from many goroutines;
+// meaningful under -race.
+func TestSweepProgressConcurrent(t *testing.T) {
+	p := NewSweepProgress(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				p.AddCells(1)
+				p.CellDone()
+			}
+		}()
+	}
+	wg.Wait()
+	if done, total, _ := p.Snapshot(); done != 400 || total != 400 {
+		t.Fatalf("snapshot %d/%d, want 400/400", done, total)
 	}
 }

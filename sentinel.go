@@ -58,6 +58,10 @@ type (
 	ExperimentTable = experiment.Table
 	// ExperimentOptions tunes experiment execution.
 	ExperimentOptions = experiment.Options
+	// ExperimentCache memoizes profiling runs and plan construction
+	// across experiment cells; share one via ExperimentOptions.Cache to
+	// deduplicate work across a whole sweep.
+	ExperimentCache = experiment.Cache
 	// Duration is a span of simulated time.
 	Duration = simtime.Duration
 )
@@ -160,3 +164,6 @@ func ExperimentIDs() []string { return experiment.IDs() }
 
 // DefaultExperimentOptions returns full-fidelity experiment settings.
 func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// NewExperimentCache returns an empty plan cache, safe for concurrent use.
+func NewExperimentCache() *ExperimentCache { return experiment.NewCache() }
