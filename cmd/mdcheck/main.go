@@ -1,0 +1,71 @@
+// mdcheck is the CI markdown link checker: it scans the given markdown
+// files for inline links and images, and fails when a relative link
+// points at a path that does not exist. External links (http, https,
+// mailto) and pure in-page anchors are skipped — CI must not depend on
+// the network. Anchored file links (doc.md#section) are checked for the
+// file part only.
+//
+// Usage: go run ./cmd/mdcheck README.md docs/*.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style links are rare in this repo and not
+// checked. The target capture stops at the first ')' or whitespace,
+// which also drops optional titles: [t](path "title").
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			broken++
+			continue
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				if frag := strings.IndexByte(target, '#'); frag >= 0 {
+					target = target[:frag]
+					if target == "" {
+						continue // in-page anchor
+					}
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s)\n", file, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func skip(target string) bool {
+	for _, p := range []string{"http://", "https://", "mailto:"} {
+		if strings.HasPrefix(target, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,7 @@ import (
 
 	"sentinel/internal/experiment"
 	"sentinel/internal/metrics"
+	"sentinel/internal/tracecli"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		seq      = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
 		progress = flag.Bool("progress", stderrIsTerminal(), "live cell-completion progress on stderr")
 	)
+	tf := tracecli.Register()
 	flag.Parse()
 
 	if *list {
@@ -47,7 +49,7 @@ func main() {
 		return
 	}
 
-	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers}
+	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers, Trace: tf.Bus()}
 	if *seq {
 		// The reference path the golden determinism tests compare
 		// against: strictly sequential and cache-free.
@@ -97,6 +99,10 @@ func main() {
 	if sp != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s across %d experiments (wall-clock %v)\n",
 			sp.Summary(), len(ids), time.Since(sweepStart).Round(time.Millisecond))
+	}
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
+		os.Exit(1)
 	}
 }
 

@@ -13,10 +13,12 @@ import (
 	"os"
 	"sort"
 
+	"sentinel/internal/exec"
 	"sentinel/internal/memsys"
 	"sentinel/internal/model"
 	"sentinel/internal/profile"
 	"sentinel/internal/simtime"
+	"sentinel/internal/tracecli"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 		batch     = flag.Int("batch", 128, "batch size")
 		top       = flag.Int("top", 0, "also list the N most-accessed tensors")
 	)
+	tf := tracecli.Register()
 	flag.Parse()
 
 	g, err := model.Build(*modelName, *batch)
@@ -38,8 +41,15 @@ func main() {
 	}
 	fmt.Print(c)
 
-	p, err := profile.Collect(g, spec)
+	var popts []exec.Option
+	if tf.Enabled() {
+		popts = append(popts, exec.WithTrace(tf.Bus(), ""))
+	}
+	p, err := profile.Collect(g, spec, popts...)
 	if err != nil {
+		fatal(err)
+	}
+	if err := tf.Write(); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("profiling step: %v (fault overhead %v, %d faults)\n",

@@ -19,6 +19,7 @@ import (
 	"sentinel/internal/model"
 	"sentinel/internal/policyset"
 	"sentinel/internal/simtime"
+	"sentinel/internal/tracecli"
 )
 
 func main() {
@@ -31,8 +32,8 @@ func main() {
 		fastPct   = flag.Float64("fastpct", 20, "fast memory size as % of model peak memory (0 = platform default)")
 		steps     = flag.Int("steps", 5, "training steps to simulate")
 		list      = flag.Bool("list", false, "list models and policies, then exit")
-		trace     = flag.String("trace", "", "write a runtime event trace to this file ('-' for stdout)")
 	)
+	tf := tracecli.Register()
 	flag.Parse()
 
 	if *list {
@@ -75,20 +76,14 @@ func main() {
 	}
 
 	var opts []exec.Option
-	if *trace != "" {
-		w := os.Stdout
-		if *trace != "-" {
-			f, ferr := os.Create(*trace)
-			if ferr != nil {
-				fatal(ferr)
-			}
-			defer f.Close()
-			w = f
-		}
-		opts = append(opts, exec.WithEventSink(exec.WriteEvents(w)))
+	if tf.Enabled() {
+		opts = append(opts, exec.WithTrace(tf.Bus(), ""))
 	}
 	run, err := policyset.Run(g, spec, *policy, *steps, opts...)
 	if err != nil {
+		fatal(err)
+	}
+	if err := tf.Write(); err != nil {
 		fatal(err)
 	}
 

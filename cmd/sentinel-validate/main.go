@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"sentinel/internal/experiment"
+	"sentinel/internal/tracecli"
 )
 
 func main() {
@@ -19,9 +20,10 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent simulation cells (0 = GOMAXPROCS, 1 = sequential)")
 		seq     = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
 	)
+	tf := tracecli.Register()
 	flag.Parse()
 
-	opts := experiment.Options{Steps: *steps, Workers: *workers}
+	opts := experiment.Options{Steps: *steps, Workers: *workers, Trace: tf.Bus()}
 	if *seq {
 		opts.Workers = 1
 		opts.NoCache = true
@@ -41,6 +43,10 @@ func main() {
 		fmt.Printf("%-4s %-22s %s\n     %s\n", status, c.Name, c.Claim, c.Detail)
 	}
 	fmt.Printf("\n%d/%d checks passed\n", len(checks)-failed, len(checks))
+	if err := tf.Write(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-validate:", err)
+		os.Exit(1)
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}

@@ -23,6 +23,7 @@ import (
 	"sentinel/internal/memsys"
 	"sentinel/internal/simtime"
 	"sentinel/internal/tensor"
+	"sentinel/internal/trace"
 )
 
 // Mode selects the allocation regime.
@@ -127,6 +128,9 @@ type Allocator struct {
 	// failedTier counts allocations that fell back to the other tier
 	// because the requested tier was full.
 	failedTier int64
+	// sink emits arena growth, reclamation, and placement events into the
+	// unified trace bus when attached (SetTrace); nil discards.
+	sink *trace.Sink
 }
 
 // New returns an allocator over the kernel.
@@ -150,6 +154,19 @@ func (a *Allocator) SetClock(now func() simtime.Time) {
 	if now != nil {
 		a.now = now
 	}
+}
+
+// SetTrace attaches the allocator to a trace sink: arena growth and
+// reclamation and per-tensor placement decisions are emitted as events. A
+// nil sink disables emission.
+func (a *Allocator) SetTrace(s *trace.Sink) { a.sink = s }
+
+// traceTier maps a machine tier to its trace-schema tier.
+func traceTier(t memsys.Tier) trace.Tier {
+	if t == memsys.Fast {
+		return trace.TierFast
+	}
+	return trace.TierSlow
 }
 
 // Reconfigure switches the allocation policy for future allocations —
@@ -236,6 +253,7 @@ func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
 	pages := chunk >> kernel.PageShift
 	first := a.nextPage
 	last := first + kernel.PageID(pages) - 1
+	placed := tier
 	if err := a.k.Map(first, last, tier); err != nil {
 		// Release cached dead chunks and retry before falling back to
 		// the other tier, as a real allocator would rather than
@@ -247,6 +265,7 @@ func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
 			if err2 := a.k.Map(first, last, other); err2 != nil {
 				return fmt.Errorf("alloc: both tiers full: %v; %v", err, err2)
 			}
+			placed = other
 			a.failedTier++
 		}
 	}
@@ -257,6 +276,8 @@ func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
 	b := block{addr: int64(first) << kernel.PageShift, size: chunk}
 	ar.chunks = append(ar.chunks, b)
 	a.freeInsert(ar, b)
+	a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KArenaGrow, Tensor: trace.NoTensor,
+		Name: ar.name, Bytes: chunk, Tier: traceTier(placed)})
 	return nil
 }
 
@@ -347,6 +368,8 @@ func (a *Allocator) Alloc(t *tensor.Tensor) (Region, error) {
 	ar.live++
 	r := Region{Addr: addr, Size: t.Size}
 	a.regions[t.ID] = allocation{region: r, arenaKey: key}
+	a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KPlace, Tensor: t.ID,
+		Name: key, Bytes: t.Size})
 	return r, nil
 }
 
@@ -431,6 +454,15 @@ func chunkFree(ar *arena, c block) (int, bool) {
 // cached regions to the driver under memory pressure. Pinned arenas are
 // never reclaimed. Returns the bytes of the tier released.
 func (a *Allocator) Reclaim(tier memsys.Tier, need int64) int64 {
+	freed := a.reclaim(tier, need)
+	if freed > 0 {
+		a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KArenaReclaim,
+			Tensor: trace.NoTensor, Bytes: freed, Tier: traceTier(tier)})
+	}
+	return freed
+}
+
+func (a *Allocator) reclaim(tier memsys.Tier, need int64) int64 {
 	var freed int64
 	// Arena order decides which cached chunks go back first; iterate in
 	// sorted key order so reclamation (and everything downstream of the

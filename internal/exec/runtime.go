@@ -20,6 +20,7 @@ import (
 	"sentinel/internal/metrics"
 	"sentinel/internal/simtime"
 	"sentinel/internal/tensor"
+	"sentinel/internal/trace"
 )
 
 // ErrOOM reports that fast memory could not hold the working set: on a
@@ -43,8 +44,11 @@ type Runtime struct {
 	// (pinned/zero-copy memory) instead of requiring residency;
 	// Sentinel-GPU's profiling step runs in this mode (Sec. V).
 	pinnedAccess bool
-	// sink receives trace events when installed (WithEventSink).
-	sink     EventSink
+	// sink emits into the unified event bus when tracing is attached
+	// (WithTrace); nil discards.
+	sink     *trace.Sink
+	traceBus *trace.Bus
+	traceRun string
 	curLayer int
 }
 
@@ -81,8 +85,10 @@ func NewRuntime(g *graph.Graph, spec memsys.Spec, p Policy, opts ...Option) (*Ru
 	for _, o := range opts {
 		o(rt)
 	}
+	rt.wireTrace()
 	rt.a = alloc.New(k, p.AllocConfig(g))
 	rt.a.SetClock(func() simtime.Time { return rt.now })
+	rt.a.SetTrace(rt.sink)
 	// Weights and inputs are allocated before the training loop.
 	for _, id := range g.Prealloc {
 		t := g.T(id)
@@ -176,19 +182,23 @@ func (rt *Runtime) MigrateRange(addr, size int64, dst memsys.Tier) (done simtime
 	return done, moved, shortfall
 }
 
+// noteMigration folds a completed migration submission into the step
+// statistics and the per-step bandwidth trace. The unified bus learns
+// about migrations from the kernel layer, which knows the channel
+// service span; here we only account bytes.
 func (rt *Runtime) noteMigration(dst memsys.Tier, moved int64) {
 	if moved == 0 || rt.st == nil {
 		return
 	}
+	kind := trace.KMigrateOut
 	if dst == memsys.Fast {
 		rt.st.MigratedIn += moved
-		rt.emit(EvIn, "", -1, moved)
+		kind = trace.KMigrateIn
 	} else {
 		rt.st.MigratedOut += moved
-		rt.emit(EvOut, "", -1, moved)
 	}
 	if rt.st.Trace != nil {
-		rt.st.Trace.AddMigration(rt.now, moved)
+		rt.st.Trace.Consume(trace.Event{At: rt.now, Kind: kind, Bytes: moved})
 	}
 }
 
@@ -211,7 +221,7 @@ func (rt *Runtime) WaitUntil(t simtime.Time) {
 	}
 	if rt.st != nil {
 		rt.st.StallTime += t.Sub(rt.now)
-		rt.emit(EvStall, "", -1, int64(t.Sub(rt.now)))
+		rt.emit(trace.Event{At: rt.now, Kind: trace.KStall, Dur: t.Sub(rt.now), Tensor: trace.NoTensor})
 	}
 	rt.now = t
 }
@@ -229,8 +239,8 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 		st.Trace = memsys.NewBWTrace(rt.traceWidth)
 	}
 	rt.st = st
+	rt.curLayer = -1
 	stepStart := rt.now
-	rt.emit(EvStep, "", -1, 0)
 	rt.policy.StepStart(step)
 	curLayer := -1
 	layerStart := rt.now
@@ -238,6 +248,10 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 		if curLayer >= 0 {
 			rt.policy.LayerEnd(curLayer)
 			st.LayerTime[curLayer] += rt.now.Sub(layerStart)
+			// Span events are emitted at close, when the extent is known;
+			// exporters restore timeline order.
+			rt.emit(trace.Event{At: layerStart, Dur: rt.now.Sub(layerStart),
+				Kind: trace.KLayer, Tensor: trace.NoTensor})
 		}
 	}
 	for i := range rt.g.Ops {
@@ -246,7 +260,6 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 			closeLayer()
 			curLayer = op.Layer
 			rt.curLayer = curLayer
-			rt.emit(EvLayer, "", -1, 0)
 			rt.policy.LayerStart(curLayer)
 			layerStart = rt.now
 		}
@@ -256,10 +269,12 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 		}
 	}
 	closeLayer()
+	rt.curLayer = -1
 	st.Duration = rt.now.Sub(stepStart)
 	rt.policy.StepEnd(step, st)
 	// StepEnd may stall (e.g. draining migrations); fold that in.
 	st.Duration = rt.now.Sub(stepStart)
+	rt.emit(trace.Event{At: stepStart, Dur: st.Duration, Kind: trace.KStep, Tensor: trace.NoTensor})
 	rt.st = nil
 	rt.run.Steps = append(rt.run.Steps, st)
 	return st, nil
@@ -318,7 +333,7 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		if err != nil {
 			return fmt.Errorf("%w: allocating %s (%s)", ErrOOM, t.Name, simtime.Bytes(t.Size))
 		}
-		rt.emit(EvAlloc, t.Name, t.ID, t.Size)
+		rt.emit(trace.Event{At: rt.now, Kind: trace.KAlloc, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
 		rt.policy.TensorAllocated(t, r)
 	}
 	rt.policy.OpStart(i, op)
@@ -379,10 +394,8 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		faults += rt.k.Touch(r.Addr, r.Size, accesses, ac.Writes > 0, start)
 		st.FastBytes += sp.FastRead + sp.FastWrite
 		st.SlowBytes += sp.SlowRead + sp.SlowWrite
-		if st.Trace != nil {
-			st.Trace.AddAccess(start, memsys.Fast, sp.FastRead+sp.FastWrite)
-			st.Trace.AddAccess(start, memsys.Slow, sp.SlowRead+sp.SlowWrite)
-		}
+		rt.noteAccess(start, trace.TierFast, sp.FastRead+sp.FastWrite, t.ID, t.Name)
+		rt.noteAccess(start, trace.TierSlow, sp.SlowRead+sp.SlowWrite, t.ID, t.Name)
 	}
 	faultT := simtime.Duration(faults) * rt.spec.FaultCost
 	// Imperfect roofline: the smaller component only partially hides
@@ -407,7 +420,7 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		if err := rt.a.Free(t); err != nil {
 			return err
 		}
-		rt.emit(EvFree, t.Name, t.ID, t.Size)
+		rt.emit(trace.Event{At: rt.now, Kind: trace.KFree, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
 		rt.policy.TensorFreed(t, r)
 	}
 	rt.policy.OpEnd(i, op)
@@ -450,20 +463,29 @@ func (rt *Runtime) makeRoomFor(n int64) {
 func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 	start := rt.now
 	st := rt.st
+	// stallOn attributes the additional critical-path delay one tensor
+	// imposes beyond the waits already accounted: each tensor's wait runs
+	// concurrently with the others', so only the increment over the
+	// running max is exposed.
+	stallOn := func(until simtime.Time, t *tensor.Tensor) {
+		if until > start {
+			rt.emit(trace.Event{At: start, Dur: until.Sub(start), Kind: trace.KStall,
+				Tensor: t.ID, Name: t.Name})
+			start = until
+		}
+	}
 	for _, ac := range op.Accesses {
 		r, ok := rt.a.Region(ac.Tensor)
 		if !ok {
 			return 0, fmt.Errorf("residency check on unallocated tensor %d", ac.Tensor)
 		}
+		t := rt.g.T(ac.Tensor)
 		first, last := r.Pages()
 		ready, resident := rt.k.ResidentFastBy(first, last, rt.now)
 		if resident {
-			if ready > start {
-				start = ready
-			}
+			stallOn(ready, t)
 			continue
 		}
-		t := rt.g.T(ac.Tensor)
 		if rc, isRC := rt.policy.(Recomputer); isRC {
 			if d, yes := rc.Recompute(t); yes {
 				moved, short := rt.k.Relocate(r.Addr, r.Size, memsys.Fast, rt.now)
@@ -488,6 +510,8 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 			if free >= need {
 				break
 			}
+			rt.emit(trace.Event{At: rt.now, Kind: trace.KOOMRetry, Tensor: t.ID,
+				Name: t.Name, Bytes: need - free, Count: int64(attempt + 1)})
 			rt.makeRoomFor(need)
 		}
 		done, moved, short := rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
@@ -508,12 +532,10 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 				simtime.Bytes(rt.k.Free(memsys.Fast)), rt.a.Live(), rt.a.ArenaCount())
 		}
 		rt.noteMigration(memsys.Fast, moved)
-		rt.emit(EvDemand, t.Name, t.ID, moved)
+		rt.emit(trace.Event{At: rt.now, Kind: trace.KDemand, Tensor: t.ID, Name: t.Name, Bytes: moved})
 		st.DemandMigrations++
 		done = done.Add(rt.spec.DemandFaultCost)
-		if done > start {
-			start = done
-		}
+		stallOn(done, t)
 	}
 	return start, nil
 }

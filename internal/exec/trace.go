@@ -1,80 +1,55 @@
 package exec
 
 import (
-	"fmt"
-	"io"
-
 	"sentinel/internal/simtime"
 	"sentinel/internal/tensor"
+	"sentinel/internal/trace"
 )
 
-// EventKind classifies runtime trace events.
-type EventKind string
-
-// Event kinds emitted by the engine.
-const (
-	EvAlloc   EventKind = "alloc"
-	EvFree    EventKind = "free"
-	EvIn      EventKind = "migrate-in"
-	EvOut     EventKind = "migrate-out"
-	EvDemand  EventKind = "demand"
-	EvStall   EventKind = "stall"
-	EvLayer   EventKind = "layer"
-	EvStep    EventKind = "step"
-	EvOOMNear EventKind = "oom-retry"
-)
-
-// Event is one runtime trace record.
-type Event struct {
-	At     simtime.Time
-	Kind   EventKind
-	Step   int
-	Layer  int
-	Tensor tensor.ID
-	Name   string
-	Bytes  int64
-}
-
-// String renders the event as one log line.
-func (e Event) String() string {
-	t := simtime.Duration(e.At)
-	switch e.Kind {
-	case EvLayer:
-		return fmt.Sprintf("%12v step=%d layer=%d", t, e.Step, e.Layer)
-	case EvStep:
-		return fmt.Sprintf("%12v step=%d begins", t, e.Step)
-	case EvStall:
-		return fmt.Sprintf("%12v step=%d layer=%d stall %v", t, e.Step, e.Layer, simtime.Duration(e.Bytes))
-	default:
-		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, e.Name, simtime.Bytes(e.Bytes))
+// WithTrace attaches the runtime to a structured event bus: every engine,
+// kernel, and allocator event of the run is emitted through one sink
+// stamped with the run label and the current step/layer. The bus may be
+// shared across concurrently executing runtimes (the parallel experiment
+// sweep does exactly that); label runs distinctly so exporters can
+// separate them.
+func WithTrace(bus *trace.Bus, run string) Option {
+	return func(rt *Runtime) {
+		rt.traceBus = bus
+		rt.traceRun = run
 	}
 }
 
-// EventSink receives engine trace events.
-type EventSink func(Event)
-
-// WithEventSink installs a trace sink on the runtime.
-func WithEventSink(sink EventSink) Option {
-	return func(rt *Runtime) { rt.sink = sink }
-}
-
-// WriteEvents returns a sink that writes one line per event.
-func WriteEvents(w io.Writer) EventSink {
-	return func(e Event) { fmt.Fprintln(w, e) }
-}
-
-// emit sends an event to the sink if one is installed.
-func (rt *Runtime) emit(kind EventKind, name string, id tensor.ID, bytes int64) {
-	if rt.sink == nil {
+// wireTrace builds the runtime's sink and pushes it down into the kernel
+// and allocator layers. Called from NewRuntime once the kernel exists;
+// the allocator is wired separately as it is constructed later.
+func (rt *Runtime) wireTrace() {
+	if rt.traceBus == nil {
 		return
 	}
-	step, layer := -1, -1
-	if rt.st != nil {
-		step = rt.st.Step
-		layer = rt.curLayer
-	}
-	rt.sink(Event{
-		At: rt.now, Kind: kind, Step: step, Layer: layer,
-		Tensor: id, Name: name, Bytes: bytes,
+	s := trace.NewSink(rt.traceBus, rt.traceRun)
+	s.SetContext(func() (step, layer int) {
+		if rt.st == nil {
+			return -1, -1
+		}
+		return rt.st.Step, rt.curLayer
 	})
+	rt.sink = s
+	rt.k.SetTrace(s)
+}
+
+// emit forwards an event to the run's sink; a nil sink discards it.
+func (rt *Runtime) emit(e trace.Event) { rt.sink.Emit(e) }
+
+// noteAccess records demand traffic served by one tier: it feeds both the
+// event bus and the per-step bandwidth trace, which consumes the same
+// unified event.
+func (rt *Runtime) noteAccess(at simtime.Time, tier trace.Tier, n int64, id tensor.ID, name string) {
+	if n <= 0 {
+		return
+	}
+	ev := trace.Event{At: at, Kind: trace.KAccess, Tier: tier, Bytes: n, Tensor: id, Name: name}
+	rt.emit(ev)
+	if rt.st != nil && rt.st.Trace != nil {
+		rt.st.Trace.Consume(ev)
+	}
 }

@@ -1,0 +1,98 @@
+package exec_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sentinel/internal/exec"
+	"sentinel/internal/trace"
+)
+
+// runTraced executes two steps of the micro workload with tracing
+// attached and returns the captured bus. The slow allocator forces demand
+// migrations, so the stream exercises stalls, demand instants, and both
+// migration directions.
+func runTraced(t *testing.T) *trace.Bus {
+	t.Helper()
+	g := microGraph(t, 64<<20)
+	bus := trace.NewBus(0)
+	rt, err := exec.NewRuntime(g, gpuSpec(256<<20), &slowAllocPolicy{}, exec.WithTrace(bus, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunSteps(2); err != nil {
+		t.Fatal(err)
+	}
+	return bus
+}
+
+func TestTraceEventStream(t *testing.T) {
+	bus := runTraced(t)
+	counts := map[trace.Kind]int{}
+	for _, e := range bus.Events() {
+		counts[e.Kind]++
+		switch e.Kind {
+		case trace.KStall:
+			if e.Dur <= 0 {
+				t.Fatalf("stall with non-positive duration: %v", e)
+			}
+			if e.Tensor == trace.NoTensor {
+				t.Fatalf("residency stall not attributed to a tensor: %v", e)
+			}
+		case trace.KStep, trace.KLayer, trace.KMigrateIn, trace.KMigrateOut:
+			if e.Dur < 0 {
+				t.Fatalf("span with negative duration: %v", e)
+			}
+		}
+	}
+	if counts[trace.KStep] != 2 {
+		t.Fatalf("step spans = %d, want 2", counts[trace.KStep])
+	}
+	if counts[trace.KLayer] != 4 {
+		t.Fatalf("layer spans = %d, want 4 (2 layers x 2 steps)", counts[trace.KLayer])
+	}
+	for _, k := range []trace.Kind{trace.KAlloc, trace.KFree, trace.KStall,
+		trace.KDemand, trace.KAccess, trace.KMigrateIn, trace.KPlace, trace.KArenaGrow} {
+		if counts[k] == 0 {
+			t.Fatalf("no %s events in a demand-migrating run (have %v)", k, counts)
+		}
+	}
+}
+
+// TestGoldenChromeTrace pins the exact Chrome trace-event JSON of the
+// two-step micro run. The simulator is deterministic, so any diff means
+// either the event schema or the instrumentation changed; regenerate with
+//
+//	UPDATE_GOLDEN=1 go test ./internal/exec -run TestGoldenChromeTrace
+//
+// and review the diff like any golden change.
+func TestGoldenChromeTrace(t *testing.T) {
+	bus := runTraced(t)
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, bus.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("chrome export is not valid JSON")
+	}
+	golden := filepath.Join("testdata", "micro_trace.chrome.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace diverged from golden %s (%d vs %d bytes); regenerate with UPDATE_GOLDEN=1 and review",
+			golden, buf.Len(), len(want))
+	}
+}

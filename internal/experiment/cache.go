@@ -13,6 +13,7 @@ import (
 	"sentinel/internal/policyset"
 	"sentinel/internal/profile"
 	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
 )
 
 // Cache memoizes the expensive shared stages of a sweep: profiling runs,
@@ -101,8 +102,20 @@ func (c cellRun) key() string {
 		c.policy, c.steps, c.mil, c.trace)
 }
 
+// label names the cell's run in trace events: policy, model, batch, and
+// the capacity point, enough to tell sweep cells apart in an exported
+// timeline.
+func (c cellRun) label() string {
+	l := fmt.Sprintf("%s/%s/b%d/%s/fast=%s",
+		c.policy, c.model, c.batch, c.spec.Name, simtime.Bytes(c.spec.Fast.Size))
+	if c.mil > 0 {
+		l += fmt.Sprintf("/mil=%d", c.mil)
+	}
+	return l
+}
+
 // execute runs the cell from scratch: build the graph, run the policy.
-func (c cellRun) execute() (*metrics.RunStats, error) {
+func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 	g, err := model.Build(c.model, c.batch)
 	if err != nil {
 		return nil, err
@@ -110,6 +123,9 @@ func (c cellRun) execute() (*metrics.RunStats, error) {
 	var opts []exec.Option
 	if c.trace > 0 {
 		opts = append(opts, exec.WithBWTrace(c.trace))
+	}
+	if bus != nil {
+		opts = append(opts, exec.WithTrace(bus, c.label()))
 	}
 	if c.mil > 0 {
 		cfg := core.DefaultConfig()
@@ -127,7 +143,7 @@ func (c cellRun) execute() (*metrics.RunStats, error) {
 // *RunStats are shared across cells and experiments; they are read-only
 // once the run completes.
 func (o Options) run(c cellRun) (*metrics.RunStats, error) {
-	return cacheDo(o, c.key(), c.execute)
+	return cacheDo(o, c.key(), func() (*metrics.RunStats, error) { return c.execute(o.Trace) })
 }
 
 // runAll submits a batch of cells through the worker pool, returning run

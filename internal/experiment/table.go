@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
 )
 
 // Table is a rendered experiment result.
@@ -97,6 +98,11 @@ type Options struct {
 	// Progress, when non-nil, observes cell scheduling and completion
 	// (metrics.NewSweepProgress renders a live counter).
 	Progress Progress
+	// Trace, when non-nil, captures every runtime event of every executed
+	// simulation cell on one shared bus, each run stamped with the cell's
+	// label. Cells served from the plan cache do not re-execute and so
+	// appear in the trace only once.
+	Trace *trace.Bus
 }
 
 // DefaultOptions returns the full-fidelity settings.

@@ -1,0 +1,44 @@
+package experiment
+
+import (
+	"testing"
+
+	"sentinel/internal/trace"
+)
+
+// TestSharedBusAcrossSweep runs one experiment on the worker pool with a
+// shared trace bus attached: cells executing concurrently must all land
+// on the bus (run under -race this checks the concurrent-emit path), each
+// event stamped with its cell's run label, and the emitted table must be
+// unaffected by tracing.
+func TestSharedBusAcrossSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	id := "fig7"
+	plain, err := Run(id, Options{Steps: 2, Quick: true, Workers: 4, Cache: NewCache()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := trace.NewBus(0)
+	traced, err := Run(id, Options{Steps: 2, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := traced.String(), plain.String(); g != w {
+		t.Errorf("tracing changed the experiment output\n--- plain ---\n%s\n--- traced ---\n%s", w, g)
+	}
+	if bus.Len() == 0 {
+		t.Fatal("no events captured from the sweep")
+	}
+	runs := map[string]bool{}
+	for _, e := range bus.Events() {
+		if e.Run == "" {
+			t.Fatalf("sweep event missing run label: %v", e)
+		}
+		runs[e.Run] = true
+	}
+	if len(runs) < 2 {
+		t.Fatalf("expected events from multiple cells, got runs %v", runs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"sentinel/internal/memsys"
 	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
 )
 
 // Page geometry. 4 KiB pages, as on the paper's x86 platform.
@@ -73,6 +74,9 @@ type Kernel struct {
 	onTouch   TouchFunc
 	profiling bool
 	faults    int64 // total profiling faults taken
+	// sink emits migration and fault events into the unified trace bus
+	// when attached (SetTrace); nil discards.
+	sink *trace.Sink
 }
 
 // New returns a kernel managing memory with the given machine spec.
@@ -89,6 +93,11 @@ func New(spec memsys.Spec) (*Kernel, error) {
 
 // Spec returns the machine spec the kernel was built with.
 func (k *Kernel) Spec() memsys.Spec { return k.spec }
+
+// SetTrace attaches the kernel to a trace sink: migration batches are
+// emitted as spans over their channel service time and profiling faults
+// as counter events. A nil sink disables emission.
+func (k *Kernel) SetTrace(s *trace.Sink) { k.sink = s }
 
 // SetTouchHook installs a page-touch observer (nil to remove).
 func (k *Kernel) SetTouchHook(f TouchFunc) { k.onTouch = f }
@@ -280,6 +289,10 @@ func (k *Kernel) Touch(addr, size int64, accesses int, write bool, at simtime.Ti
 		faults += n
 	})
 	k.faults += faults
+	if faults > 0 {
+		k.sink.Emit(trace.Event{At: at, Kind: trace.KFault, Tensor: trace.NoTensor,
+			Count: faults, Bytes: size})
+	}
 	return faults
 }
 
@@ -334,6 +347,14 @@ func (k *Kernel) migrate(addr, size int64, dst memsys.Tier, at simtime.Time, urg
 	if dst == memsys.Slow {
 		ch = k.out
 	}
+	// The channel serializes transfers, so this batch is serviced starting
+	// at its head-of-line instant: behind queued traffic for ordinary
+	// migrations, immediately for urgent (demand) ones. Captured before
+	// submitting so the emitted span covers exactly this batch.
+	svc := at
+	if !urgent && ch.BusyUntil() > svc {
+		svc = ch.BusyUntil()
+	}
 	done = at
 	k.forRange(first, last, func(r *run) {
 		r.settle(at)
@@ -361,6 +382,14 @@ func (k *Kernel) migrate(addr, size int64, dst memsys.Tier, at simtime.Time, urg
 			done = complete
 		}
 	})
+	if moved > 0 && k.sink.Enabled() {
+		kind := trace.KMigrateIn
+		if dst == memsys.Slow {
+			kind = trace.KMigrateOut
+		}
+		k.sink.Emit(trace.Event{At: svc, Dur: done.Sub(svc), Kind: kind,
+			Tensor: trace.NoTensor, Bytes: moved})
+	}
 	return done, moved, shortfall
 }
 

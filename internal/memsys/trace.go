@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
 )
 
 // BWSample is one bucket of a bandwidth trace: bytes moved per tier during
@@ -56,6 +57,25 @@ func (tr *BWTrace) AddAccess(at simtime.Time, tier Tier, n int64) {
 // and migration bandwidth can be distinguished.
 func (tr *BWTrace) AddMigration(at simtime.Time, n int64) {
 	tr.bucket(at).Migrations += n
+}
+
+// Consume folds one unified trace event into the bucketed series: access
+// events add demand traffic to their tier, migration events add migration
+// traffic; every other kind is ignored. This makes BWTrace a consumer of
+// the internal/trace event stream rather than a parallel sink — the
+// Fig. 9 bandwidth-over-time series is derived from the same events the
+// exporters see.
+func (tr *BWTrace) Consume(e trace.Event) {
+	switch e.Kind {
+	case trace.KAccess:
+		tier := Slow
+		if e.Tier == trace.TierFast {
+			tier = Fast
+		}
+		tr.AddAccess(e.At, tier, e.Bytes)
+	case trace.KMigrateIn, trace.KMigrateOut:
+		tr.AddMigration(e.At, e.Bytes)
+	}
 }
 
 // Samples returns the accumulated buckets in time order.

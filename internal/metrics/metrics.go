@@ -51,7 +51,9 @@ type StepStats struct {
 	// project layer times onto other tier placements.
 	LayerComputeTime []simtime.Duration
 	LayerMemTime     []simtime.Duration
-	// Trace is the optional bandwidth-over-time trace.
+	// Trace is the optional bandwidth-over-time trace (Fig. 9). It is a
+	// consumer of the unified event stream: the runtime feeds it the same
+	// access and migration events it emits on the internal/trace bus.
 	Trace *memsys.BWTrace
 }
 

@@ -203,10 +203,11 @@ func (c *collector) TensorFreed(t *tensor.Tensor, r alloc.Region) {
 
 // Collect runs one profiling step of g on the machine and returns the
 // profile. The step runs entirely on slow memory, so profiling never
-// consumes fast memory (Sec. III-A).
-func Collect(g *graph.Graph, spec memsys.Spec) (*Profile, error) {
+// consumes fast memory (Sec. III-A). Extra runtime options (for example
+// exec.WithTrace) apply to the profiling run.
+func Collect(g *graph.Graph, spec memsys.Spec, opts ...exec.Option) (*Profile, error) {
 	c := &collector{}
-	rt, err := exec.NewRuntime(g, spec, c)
+	rt, err := exec.NewRuntime(g, spec, c, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,145 @@
+package trace
+
+import "sync"
+
+// DefaultCapacity is the ring capacity used when NewBus is given a
+// non-positive one: 64Ki events (~6 MiB), enough for several full steps
+// of the largest zoo models before the ring starts recycling.
+const DefaultCapacity = 1 << 16
+
+// Bus is the structured event bus: a fixed-capacity ring buffer of Events
+// plus optional streaming subscribers. When the ring is full the oldest
+// event is overwritten and the Dropped counter advances, so long runs
+// degrade to a sliding window instead of growing without bound.
+//
+// Bus is safe for concurrent use: the experiment worker pool shares one
+// bus across all simulation cells of a sweep, each cell emitting through
+// its own run-labelled Sink.
+type Bus struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest buffered event
+	n       int // buffered events
+	dropped int64
+	subs    []func(Event)
+}
+
+// NewBus returns a bus with the given ring capacity (DefaultCapacity if
+// capacity <= 0). The ring is allocated once, up front; Emit never
+// allocates.
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Bus{buf: make([]Event, capacity)}
+}
+
+// Emit appends the event to the ring, evicting the oldest event if full,
+// and hands it to every subscriber. Subscribers run synchronously under
+// the bus lock — they serialize concurrent emitters and must not call
+// back into the bus.
+func (b *Bus) Emit(e Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf) == 0 {
+		b.buf = make([]Event, DefaultCapacity) // zero-value Bus
+	}
+	if b.n < len(b.buf) {
+		b.buf[(b.start+b.n)%len(b.buf)] = e
+		b.n++
+	} else {
+		b.buf[b.start] = e
+		b.start = (b.start + 1) % len(b.buf)
+		b.dropped++
+	}
+	for _, fn := range b.subs {
+		fn(e)
+	}
+}
+
+// Subscribe registers a streaming consumer invoked for every subsequent
+// event, under the bus lock (see Emit). Already-buffered events are not
+// replayed; use Events for those.
+func (b *Bus) Subscribe(fn func(Event)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, fn)
+}
+
+// Events returns a copy of the buffered events in emission order (oldest
+// first). If Dropped is non-zero the head of the stream has been
+// recycled.
+func (b *Bus) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, b.n)
+	for i := 0; i < b.n; i++ {
+		out[i] = b.buf[(b.start+i)%len(b.buf)]
+	}
+	return out
+}
+
+// Len reports how many events are currently buffered.
+func (b *Bus) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Cap reports the ring capacity.
+func (b *Bus) Cap() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Dropped reports how many events were evicted to make room.
+func (b *Bus) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Sink is a per-run handle onto a bus: it stamps every event with the
+// run's label and with the current step/layer from the context callback,
+// so instrumented components (kernel, allocator) need no knowledge of
+// execution state. A nil Sink discards events, which keeps instrumentation
+// call sites unconditional.
+type Sink struct {
+	bus *Bus
+	run string
+	ctx func() (step, layer int)
+}
+
+// NewSink returns a sink emitting into bus under the given run label.
+func NewSink(bus *Bus, run string) *Sink {
+	return &Sink{bus: bus, run: run}
+}
+
+// SetContext installs the step/layer provider; the execution engine wires
+// its own clock in so every event — including ones emitted from the
+// kernel and allocator layers — carries step and layer attribution.
+func (s *Sink) SetContext(fn func() (step, layer int)) {
+	if s != nil {
+		s.ctx = fn
+	}
+}
+
+// Emit stamps the event with the sink's run label and context, then
+// forwards it to the bus. Safe on a nil sink (drops the event).
+func (s *Sink) Emit(e Event) {
+	if s == nil || s.bus == nil {
+		return
+	}
+	e.Run = s.run
+	if s.ctx != nil {
+		e.Step, e.Layer = s.ctx()
+	} else {
+		e.Step, e.Layer = -1, -1
+	}
+	s.bus.Emit(e)
+}
+
+// Enabled reports whether events emitted through the sink reach a bus;
+// emitters can use it to skip building expensive events.
+func (s *Sink) Enabled() bool { return s != nil && s.bus != nil }

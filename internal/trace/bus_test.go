@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sentinel/internal/simtime"
+)
+
+func TestRingWraparound(t *testing.T) {
+	b := NewBus(4)
+	for i := 0; i < 7; i++ {
+		b.Emit(Event{At: simtime.Time(i), Kind: KAlloc, Bytes: int64(i)})
+	}
+	if got := b.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := b.Cap(); got != 4 {
+		t.Fatalf("Cap = %d, want 4", got)
+	}
+	if got := b.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	evs := b.Events()
+	for i, e := range evs {
+		// Oldest surviving event is #3; order must be emission order.
+		if want := int64(i + 3); e.Bytes != want {
+			t.Fatalf("event %d: Bytes = %d, want %d (events %v)", i, e.Bytes, want, evs)
+		}
+	}
+}
+
+func TestZeroValueBusAllocatesDefaultRing(t *testing.T) {
+	var b Bus
+	b.Emit(Event{Kind: KStep})
+	if got := b.Cap(); got != DefaultCapacity {
+		t.Fatalf("Cap = %d, want %d", got, DefaultCapacity)
+	}
+	if got := b.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	// Many goroutines sharing one bus, as the experiment worker pool
+	// does; run under -race this verifies the locking.
+	b := NewBus(1 << 10)
+	var count int
+	b.Subscribe(func(Event) { count++ })
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewSink(b, fmt.Sprintf("run-%d", w))
+			for i := 0; i < per; i++ {
+				s.Emit(Event{At: simtime.Time(i), Kind: KAccess, Bytes: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if count != workers*per {
+		t.Fatalf("subscriber saw %d events, want %d", count, workers*per)
+	}
+	if got := b.Len() + int(b.Dropped()); got != workers*per {
+		t.Fatalf("buffered+dropped = %d, want %d", got, workers*per)
+	}
+	for _, e := range b.Events() {
+		if e.Run == "" {
+			t.Fatal("event missing run label")
+		}
+	}
+}
+
+func TestSinkStampsRunAndContext(t *testing.T) {
+	b := NewBus(8)
+	s := NewSink(b, "r1")
+	s.Emit(Event{Kind: KAlloc})
+	s.SetContext(func() (int, int) { return 3, 7 })
+	s.Emit(Event{Kind: KFree})
+	evs := b.Events()
+	if evs[0].Run != "r1" || evs[0].Step != -1 || evs[0].Layer != -1 {
+		t.Fatalf("no-context event stamped %q step=%d layer=%d", evs[0].Run, evs[0].Step, evs[0].Layer)
+	}
+	if evs[1].Step != 3 || evs[1].Layer != 7 {
+		t.Fatalf("context event stamped step=%d layer=%d, want 3/7", evs[1].Step, evs[1].Layer)
+	}
+}
+
+func TestNilSinkDiscards(t *testing.T) {
+	var s *Sink
+	s.Emit(Event{Kind: KStep}) // must not panic
+	s.SetContext(func() (int, int) { return 0, 0 })
+	if s.Enabled() {
+		t.Fatal("nil sink reports enabled")
+	}
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryKindDocumented cross-checks the schema against its
+// documentation: each event kind must appear as a documented entry
+// (backticked) in docs/TRACING.md. Adding a kind without documenting it
+// fails here — and in the CI docs job, which runs this test.
+func TestEveryKindDocumented(t *testing.T) {
+	path := filepath.Join("..", "..", "docs", "TRACING.md")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	doc := string(raw)
+	for _, k := range Kinds() {
+		if !strings.Contains(doc, fmt.Sprintf("`%s`", k)) {
+			t.Errorf("event kind %q is not documented in docs/TRACING.md", k)
+		}
+	}
+	// The export formats must be documented too.
+	for _, f := range Formats() {
+		if !strings.Contains(doc, fmt.Sprintf("`%s`", f)) {
+			t.Errorf("export format %q is not documented in docs/TRACING.md", f)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/simtime"
+)
+
+func TestEventStringEveryKind(t *testing.T) {
+	// Every kind must render something containing its identifying verb —
+	// a blank or panicking String breaks the text exporter.
+	for _, k := range Kinds() {
+		e := Event{
+			At: simtime.Time(simtime.Millisecond), Dur: simtime.Microsecond,
+			Kind: k, Step: 1, Layer: 2, Tensor: 5, Name: "conv1.out",
+			Bytes: 4096, Count: 3, Tier: TierFast,
+		}
+		s := e.String()
+		if s == "" {
+			t.Fatalf("%s: empty String", k)
+		}
+		// Each rendering names its kind, except spans and stalls which
+		// use dedicated wording.
+		switch k {
+		case KStep, KLayer:
+			if !strings.Contains(s, "span") {
+				t.Errorf("%s: %q does not mention span", k, s)
+			}
+		case KStall:
+			if !strings.Contains(s, "stall") {
+				t.Errorf("%s: %q does not mention stall", k, s)
+			}
+		default:
+			if !strings.Contains(s, string(k)) {
+				t.Errorf("%s: %q does not contain kind", k, s)
+			}
+		}
+	}
+}
+
+func TestStallStringShowsDurationNotBytes(t *testing.T) {
+	e := Event{
+		At: simtime.Time(simtime.Second), Kind: KStall,
+		Dur: 3 * simtime.Millisecond, Bytes: 999999999,
+		Tensor: 7, Name: "act0",
+	}
+	s := e.String()
+	if !strings.Contains(s, (3 * simtime.Millisecond).String()) {
+		t.Fatalf("stall rendering %q lacks the stall duration", s)
+	}
+	if strings.Contains(s, "999999999") {
+		t.Fatalf("stall rendering %q leaks the Bytes field as a duration", s)
+	}
+	if !strings.Contains(s, "act0") {
+		t.Fatalf("stall rendering %q lacks the waited-on tensor", s)
+	}
+}
+
+func TestUnattributedStall(t *testing.T) {
+	e := Event{Kind: KStall, Dur: simtime.Microsecond, Tensor: NoTensor}
+	if s := e.String(); strings.Contains(s, "waiting for") {
+		t.Fatalf("unattributed stall %q claims a tensor", s)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	cases := map[Tier]string{TierNone: "-", TierFast: "fast", TierSlow: "slow"}
+	for tier, want := range cases {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", tier, got, want)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sentinel/internal/simtime"
+)
+
+// sampleEvents is a tiny two-run event stream covering every exporter
+// path: spans, instants, counters, and both migration directions.
+func sampleEvents() []Event {
+	ms := func(n int64) simtime.Time { return simtime.Time(n * int64(simtime.Millisecond)) }
+	return []Event{
+		{At: ms(0), Dur: 10 * simtime.Millisecond, Kind: KStep, Step: 0, Layer: -1, Tensor: NoTensor},
+		{At: ms(0), Dur: 4 * simtime.Millisecond, Kind: KLayer, Step: 0, Layer: 0, Tensor: NoTensor},
+		{At: ms(1), Kind: KAlloc, Step: 0, Layer: 0, Tensor: 1, Name: "act0", Bytes: 4096},
+		{At: ms(1), Kind: KPlace, Step: 0, Layer: 0, Tensor: 1, Name: "g0/bfc-small", Bytes: 4096},
+		{At: ms(1), Kind: KArenaGrow, Step: 0, Layer: 0, Tensor: NoTensor, Name: "g0/bfc-small", Bytes: 1 << 18, Tier: TierSlow},
+		{At: ms(2), Kind: KAccess, Step: 0, Layer: 0, Tensor: 1, Name: "act0", Bytes: 2048, Tier: TierFast},
+		{At: ms(2), Kind: KAccess, Step: 0, Layer: 0, Tensor: 1, Name: "act0", Bytes: 1024, Tier: TierSlow},
+		{At: ms(3), Dur: 2 * simtime.Millisecond, Kind: KMigrateIn, Step: 0, Layer: 1, Tensor: NoTensor, Bytes: 8192},
+		{At: ms(4), Dur: 1 * simtime.Millisecond, Kind: KMigrateOut, Step: 0, Layer: 1, Tensor: NoTensor, Bytes: 4096},
+		{At: ms(5), Kind: KDemand, Step: 0, Layer: 1, Tensor: 1, Name: "act0", Bytes: 8192},
+		{At: ms(5), Dur: 3 * simtime.Millisecond, Kind: KStall, Step: 0, Layer: 1, Tensor: 1, Name: "act0"},
+		{At: ms(6), Kind: KOOMRetry, Step: 0, Layer: 1, Tensor: 1, Name: "act0", Bytes: 4096, Count: 1},
+		{At: ms(7), Kind: KFault, Step: 0, Layer: 1, Tensor: NoTensor, Count: 4, Bytes: 16384},
+		{At: ms(8), Kind: KArenaReclaim, Step: 0, Layer: 1, Tensor: NoTensor, Bytes: 1 << 18, Tier: TierFast},
+		{At: ms(9), Kind: KFree, Step: 0, Layer: 1, Tensor: 1, Name: "act0", Bytes: 4096},
+		{At: ms(1), Dur: 2 * simtime.Millisecond, Kind: KStall, Step: 0, Layer: 0, Tensor: NoTensor, Run: "b"},
+	}
+}
+
+func TestWriteChromeIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Two runs ("" and "b") become two processes.
+	pids := map[float64]bool{}
+	tracks := map[string]bool{}
+	phs := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phs[e["ph"].(string)]++
+		if pid, ok := e["pid"].(float64); ok {
+			pids[pid] = true
+		}
+		if e["ph"] == "M" && e["name"] == "thread_name" {
+			tracks[e["args"].(map[string]any)["name"].(string)] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("got %d pids, want 2 (one per run)", len(pids))
+	}
+	for _, want := range []string{"compute", "migrate-in", "migrate-out", "allocator"} {
+		if !tracks[want] {
+			t.Fatalf("missing %q track (have %v)", want, tracks)
+		}
+	}
+	for _, ph := range []string{"X", "i", "C", "M"} {
+		if phs[ph] == 0 {
+			t.Fatalf("no %q phase events emitted (have %v)", ph, phs)
+		}
+	}
+}
+
+func TestChromeTracksSeparateComputeFromMigration(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Cat  string         `json:"cat"`
+			Tid  int            `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tidsByCat := map[string]map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if tidsByCat[e.Cat] == nil {
+			tidsByCat[e.Cat] = map[int]bool{}
+		}
+		tidsByCat[e.Cat][e.Tid] = true
+	}
+	for _, computeCat := range []string{"step", "layer", "stall"} {
+		for tid := range tidsByCat[computeCat] {
+			if tid != tidCompute {
+				t.Fatalf("%s slice on tid %d, want compute tid %d", computeCat, tid, tidCompute)
+			}
+		}
+	}
+	if !tidsByCat["migrate-in"][tidMigrateIn] || tidsByCat["migrate-in"][tidCompute] {
+		t.Fatalf("migrate-in slices on wrong track: %v", tidsByCat["migrate-in"])
+	}
+	if !tidsByCat["migrate-out"][tidMigrateOut] {
+		t.Fatalf("migrate-out slices on wrong track: %v", tidsByCat["migrate-out"])
+	}
+	// The attributed stall carries its tensor in args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Cat == "stall" && e.Args["tensor"] == "act0" {
+			found = true
+			if e.Dur != 3000 { // 3ms in µs
+				t.Fatalf("stall dur = %v µs, want 3000", e.Dur)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no stall slice attributed to act0")
+	}
+}
+
+func TestWriteTextPrefixesRunsOnSharedBus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[b] ") {
+		t.Fatalf("multi-run text output lacks run prefix:\n%s", out)
+	}
+	if !strings.Contains(out, "waiting for act0") {
+		t.Fatalf("text output lacks attributed stall:\n%s", out)
+	}
+
+	// Single-run streams stay unprefixed.
+	buf.Reset()
+	single := []Event{{Kind: KAlloc, Name: "t", Tensor: 0}}
+	if err := WriteText(&buf, single); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "[") {
+		t.Fatalf("single-run output has a run prefix: %q", buf.String())
+	}
+}
+
+func TestWriteStallSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStallSummary(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "act0") {
+		t.Fatalf("summary lacks per-tensor attribution:\n%s", out)
+	}
+	if !strings.Contains(out, "(unattributed)") {
+		t.Fatalf("summary lacks the unattributed bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "1 demand migrations") {
+		t.Fatalf("summary lacks demand-migration accounting:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := WriteStallSummary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no stall") {
+		t.Fatalf("empty summary = %q", buf.String())
+	}
+}
+
+func TestResolveFormat(t *testing.T) {
+	cases := []struct{ format, path, want string }{
+		{FormatAuto, "out.json", FormatChrome},
+		{FormatAuto, "out.txt", FormatText},
+		{FormatAuto, "-", FormatText},
+		{"", "trace.json", FormatChrome},
+		{FormatStalls, "out.json", FormatStalls},
+		{FormatText, "out.json", FormatText},
+	}
+	for _, c := range cases {
+		if got := ResolveFormat(c.format, c.path); got != c.want {
+			t.Errorf("ResolveFormat(%q, %q) = %q, want %q", c.format, c.path, got, c.want)
+		}
+	}
+}
+
+func TestExportUnknownFormat(t *testing.T) {
+	if err := Export(&bytes.Buffer{}, "protobuf", nil); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestSortedRestoresTimelineOrder(t *testing.T) {
+	evs := Sorted(sampleEvents())
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.Run > b.Run || (a.Run == b.Run && a.At > b.At) {
+			t.Fatalf("events %d/%d out of order: %v then %v", i-1, i, a, b)
+		}
+	}
+	// The step span must precede the layer span it encloses.
+	if evs[0].Kind != KStep {
+		t.Fatalf("first event of run %q is %s, want step", evs[0].Run, evs[0].Kind)
+	}
+}

@@ -1,0 +1,77 @@
+// Package tracecli wires the unified trace bus (internal/trace) into the
+// command-line tools: every binary declares the same -trace and
+// -trace-format flag pair through Register and exports captured events
+// through Write, so tracing behaves identically across sentinel-train,
+// sentinel-bench, sentinel-profile, and sentinel-validate.
+package tracecli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sentinel/internal/trace"
+)
+
+// Flags holds one binary's trace flag values and its capture bus.
+type Flags struct {
+	// Path is the -trace destination; empty disables tracing, "-" means
+	// stdout.
+	Path string
+	// Format is the -trace-format value; see trace.Formats.
+	Format string
+
+	bus *trace.Bus
+}
+
+// Register declares -trace and -trace-format on the default flag set.
+// Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.Path, "trace", "",
+		"write a runtime event trace to this file ('-' for stdout)")
+	flag.StringVar(&f.Format, "trace-format", trace.FormatAuto,
+		fmt.Sprintf("trace format: one of %v, or auto (chrome for .json paths, text otherwise)", trace.Formats()))
+	return f
+}
+
+// Enabled reports whether tracing was requested.
+func (f *Flags) Enabled() bool { return f.Path != "" }
+
+// Bus returns the capture bus, creating it on first use. Returns nil when
+// tracing is not requested, which downstream option plumbing treats as
+// "tracing off".
+func (f *Flags) Bus() *trace.Bus {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.bus == nil {
+		f.bus = trace.NewBus(0)
+	}
+	return f.bus
+}
+
+// Write exports the captured events to Path in the resolved format; a
+// no-op when tracing was not requested. If the ring overflowed during the
+// run, a note about the dropped head goes to stderr.
+func (f *Flags) Write() error {
+	if !f.Enabled() || f.bus == nil {
+		return nil
+	}
+	if n := f.bus.Dropped(); n > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring overflowed; oldest %d events dropped\n", n)
+	}
+	format := trace.ResolveFormat(f.Format, f.Path)
+	if f.Path == "-" {
+		return trace.Export(os.Stdout, format, f.bus.Events())
+	}
+	file, err := os.Create(f.Path)
+	if err != nil {
+		return err
+	}
+	if err := trace.Export(file, format, f.bus.Events()); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

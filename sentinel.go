@@ -20,6 +20,8 @@
 package sentinel
 
 import (
+	"io"
+
 	"sentinel/internal/core"
 	"sentinel/internal/exec"
 	"sentinel/internal/experiment"
@@ -31,6 +33,7 @@ import (
 	"sentinel/internal/policyset"
 	"sentinel/internal/profile"
 	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
 )
 
 // Re-exported core types. The facade aliases the internal packages so
@@ -64,6 +67,13 @@ type (
 	ExperimentCache = experiment.Cache
 	// Duration is a span of simulated time.
 	Duration = simtime.Duration
+	// TraceBus is the unified runtime event bus; attach one to a runtime
+	// with WithTrace or to a sweep via ExperimentOptions.Trace, then
+	// export its events with ExportTrace.
+	TraceBus = trace.Bus
+	// TraceEvent is one structured runtime event; see docs/TRACING.md for
+	// the schema.
+	TraceEvent = trace.Event
 )
 
 // OptaneHM returns the paper's CPU platform: DDR4 DRAM (fast) + Optane DC
@@ -104,6 +114,26 @@ func DefaultSentinelConfig() SentinelConfig { return core.DefaultConfig() }
 // NewRuntime binds a graph, machine, and policy for stepwise execution.
 func NewRuntime(g *Graph, m Machine, p Policy) (*Runtime, error) {
 	return exec.NewRuntime(g, m, p)
+}
+
+// NewTraceBus returns a runtime event bus with the given ring capacity
+// (0 for the default).
+func NewTraceBus(capacity int) *TraceBus { return trace.NewBus(capacity) }
+
+// WithTrace returns a runtime option that emits every engine, kernel, and
+// allocator event of the run into the bus under the given run label.
+func WithTrace(bus *TraceBus, run string) exec.Option { return exec.WithTrace(bus, run) }
+
+// NewTracedRuntime is NewRuntime with tracing attached.
+func NewTracedRuntime(g *Graph, m Machine, p Policy, bus *TraceBus, run string) (*Runtime, error) {
+	return exec.NewRuntime(g, m, p, exec.WithTrace(bus, run))
+}
+
+// ExportTrace writes captured trace events to w in the named format:
+// "chrome" (Perfetto-loadable trace-event JSON), "text" (one line per
+// event), or "stalls" (per-step stall attribution).
+func ExportTrace(w io.Writer, format string, events []TraceEvent) error {
+	return trace.Export(w, format, events)
 }
 
 // Train runs steps of the graph on the machine under the named policy and
