@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"sentinel/internal/chaos"
 	"sentinel/internal/experiment"
 	"sentinel/internal/metrics"
 	"sentinel/internal/tracecli"
@@ -40,7 +41,12 @@ func main() {
 		progress = flag.Bool("progress", stderrIsTerminal(), "live cell-completion progress on stderr")
 	)
 	tf := tracecli.Register()
+	cf := chaos.RegisterFlags()
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -49,7 +55,7 @@ func main() {
 		return
 	}
 
-	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers, Trace: tf.Bus()}
+	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers, Trace: tf.Bus(), Chaos: *cf}
 	if *seq {
 		// The reference path the golden determinism tests compare
 		// against: strictly sequential and cache-free.

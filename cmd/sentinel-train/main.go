@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"sentinel/internal/chaos"
 	"sentinel/internal/exec"
 	"sentinel/internal/graph"
 	"sentinel/internal/memsys"
@@ -34,7 +35,11 @@ func main() {
 		list      = flag.Bool("list", false, "list models and policies, then exit")
 	)
 	tf := tracecli.Register()
+	cf := chaos.RegisterFlags()
 	flag.Parse()
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		fmt.Println("models:  ", model.Names())
@@ -79,6 +84,9 @@ func main() {
 	if tf.Enabled() {
 		opts = append(opts, exec.WithTrace(tf.Bus(), ""))
 	}
+	if cf.Enabled() {
+		opts = append(opts, exec.WithChaos(chaos.New(*cf)))
+	}
 	run, err := policyset.Run(g, spec, *policy, *steps, opts...)
 	if err != nil {
 		fatal(err)
@@ -93,6 +101,19 @@ func main() {
 		simtime.Bytes(spec.Fast.Size), 100*float64(spec.Fast.Size)/float64(peak))
 	for _, st := range run.Steps {
 		fmt.Printf("  %s\n", st)
+	}
+	if cf.Enabled() {
+		var retries, degraded int64
+		for _, st := range run.Steps {
+			retries += st.MigrateRetries
+			degraded += st.Degraded
+		}
+		diverged := ""
+		if run.Diverged {
+			diverged = "  plan diverged -> demand-only"
+		}
+		fmt.Printf("chaos: %v  migrate-retries %d  degraded %d%s\n",
+			cf, retries, degraded, diverged)
 	}
 	fmt.Printf("steady step %v  throughput %.1f samples/s\n",
 		run.SteadyStepTime(), run.Throughput())

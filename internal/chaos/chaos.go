@@ -1,0 +1,243 @@
+// Package chaos is the deterministic fault-injection layer: it perturbs
+// the simulated kernel/memsys/exec stack mid-run to test what the paper
+// assumes — that one profiled step stays representative for the whole
+// training run (Sec. IV). Each knob breaks one leg of that assumption:
+//
+//   - ProfileNoise jitters per-tensor access counts observed by the
+//     profiling step, degrading migration-plan quality.
+//   - MigrateFail makes migration batches transiently fail, so they must
+//     be retried (the failed attempt's bandwidth is wasted).
+//   - MigrateSlow derates the migration channels, simulating a saturated
+//     interconnect.
+//   - ShrinkAtStep/ShrinkFrac removes fast-tier capacity at a chosen
+//     step, simulating co-tenant memory pressure.
+//   - ComputeJitter scales each step's op compute times, simulating
+//     noisy kernels (thermal throttling, contended SMs).
+//
+// Everything is derived from one seed. Per-tensor and per-step draws are
+// hash-based (splitmix64 over seed and index), so they do not depend on
+// evaluation order; per-batch migration-failure draws use a dedicated
+// sequential stream, which is deterministic because one simulation run is
+// single-threaded. Two runs with identical seeds and knobs are therefore
+// byte-for-byte identical, and a nil *Injector (all knobs zero) injects
+// nothing at all.
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+)
+
+// Config selects the fault-injection knobs. The zero value disables
+// everything.
+type Config struct {
+	// Seed drives every pseudo-random draw. Runs with equal seeds and
+	// knobs are byte-for-byte identical. A seed alone (all knobs zero)
+	// injects nothing.
+	Seed int64
+	// ProfileNoise is the relative amplitude of per-tensor access-count
+	// jitter applied to the assembled profile: each tensor's observed
+	// count is scaled by a factor drawn uniformly from
+	// [1-ProfileNoise, 1+ProfileNoise]. 0 disables.
+	ProfileNoise float64
+	// MigrateFail is the probability in [0,1) that a migration batch
+	// transiently fails and must be retried. The failed attempt still
+	// occupies the channel (the data moved, then was thrown away).
+	MigrateFail float64
+	// MigrateSlow derates both migration channels to (1-MigrateSlow) of
+	// their configured bandwidth. 0 disables; must be < 1.
+	MigrateSlow float64
+	// ShrinkAtStep is the step index at the start of which the fast tier
+	// loses ShrinkFrac of its capacity. Active only when ShrinkFrac > 0;
+	// a negative step never fires.
+	ShrinkAtStep int
+	// ShrinkFrac is the fraction of fast-tier capacity removed at
+	// ShrinkAtStep, in [0,1).
+	ShrinkFrac float64
+	// ComputeJitter is the relative amplitude of per-step compute-time
+	// jitter: every op's compute component in step s is scaled by a
+	// factor drawn uniformly from [1-ComputeJitter, 1+ComputeJitter].
+	ComputeJitter float64
+}
+
+// Enabled reports whether any knob injects faults. A bare seed does not.
+func (c Config) Enabled() bool {
+	return c.ProfileNoise > 0 || c.MigrateFail > 0 || c.MigrateSlow > 0 ||
+		c.ComputeJitter > 0 || c.shrinkArmed()
+}
+
+func (c Config) shrinkArmed() bool { return c.ShrinkFrac > 0 && c.ShrinkAtStep >= 0 }
+
+// Validate reports knob values outside their meaningful ranges.
+func (c Config) Validate() error {
+	if c.ProfileNoise < 0 {
+		return fmt.Errorf("chaos: profile noise %g is negative", c.ProfileNoise)
+	}
+	if c.MigrateFail < 0 || c.MigrateFail >= 1 {
+		return fmt.Errorf("chaos: migrate-fail probability %g outside [0,1)", c.MigrateFail)
+	}
+	if c.MigrateSlow < 0 || c.MigrateSlow >= 1 {
+		return fmt.Errorf("chaos: migrate-slow derate %g outside [0,1)", c.MigrateSlow)
+	}
+	if c.ShrinkFrac < 0 || c.ShrinkFrac >= 1 {
+		return fmt.Errorf("chaos: shrink fraction %g outside [0,1)", c.ShrinkFrac)
+	}
+	if c.ComputeJitter < 0 || c.ComputeJitter > 1 {
+		return fmt.Errorf("chaos: compute jitter %g outside [0,1]", c.ComputeJitter)
+	}
+	return nil
+}
+
+// Key canonicalizes the config for cache keys; empty when disabled, so
+// clean cells keep their pre-chaos keys.
+func (c Config) Key() string {
+	if !c.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("chaos|s%d|pn%g|mf%g|ms%g|sa%d|sf%g|cj%g",
+		c.Seed, c.ProfileNoise, c.MigrateFail, c.MigrateSlow,
+		c.ShrinkAtStep, c.ShrinkFrac, c.ComputeJitter)
+}
+
+// String summarizes the active knobs for logs and table notes.
+func (c Config) String() string {
+	if !c.Enabled() {
+		return "chaos off"
+	}
+	s := fmt.Sprintf("seed %d", c.Seed)
+	if c.ProfileNoise > 0 {
+		s += fmt.Sprintf(", profile-noise %.0f%%", 100*c.ProfileNoise)
+	}
+	if c.MigrateFail > 0 {
+		s += fmt.Sprintf(", migrate-fail %.0f%%", 100*c.MigrateFail)
+	}
+	if c.MigrateSlow > 0 {
+		s += fmt.Sprintf(", migrate-slow %.0f%%", 100*c.MigrateSlow)
+	}
+	if c.shrinkArmed() {
+		s += fmt.Sprintf(", shrink %.0f%% at step %d", 100*c.ShrinkFrac, c.ShrinkAtStep)
+	}
+	if c.ComputeJitter > 0 {
+		s += fmt.Sprintf(", compute-jitter %.0f%%", 100*c.ComputeJitter)
+	}
+	return s
+}
+
+// RegisterFlags declares the -chaos-* flag family on the default flag set
+// and returns the bound config. Call before flag.Parse; the returned
+// config is disabled unless the user sets at least one knob.
+func RegisterFlags() *Config {
+	c := &Config{ShrinkAtStep: -1, ShrinkFrac: 0.25}
+	flag.Int64Var(&c.Seed, "chaos-seed", 0, "fault-injection seed (runs with equal seeds are identical)")
+	flag.Float64Var(&c.ProfileNoise, "chaos-profile-noise", 0, "per-tensor access-count jitter amplitude (0.3 = ±30%)")
+	flag.Float64Var(&c.MigrateFail, "chaos-migrate-fail", 0, "probability a migration batch transiently fails and is retried")
+	flag.Float64Var(&c.MigrateSlow, "chaos-migrate-slow", 0, "migration-channel bandwidth derate fraction (0.5 = half speed)")
+	flag.IntVar(&c.ShrinkAtStep, "chaos-shrink-at", -1, "step at which the fast tier shrinks (-1 = never)")
+	flag.Float64Var(&c.ShrinkFrac, "chaos-shrink-frac", 0.25, "fraction of fast capacity removed at -chaos-shrink-at")
+	flag.Float64Var(&c.ComputeJitter, "chaos-compute-jitter", 0, "per-step compute-time jitter amplitude (0.2 = ±20%)")
+	return c
+}
+
+// Injector draws the individual perturbations. A nil Injector is valid
+// and injects nothing, which keeps call sites unconditional; New returns
+// nil for a disabled config, so "all knobs zero" is exactly the clean
+// path, not a degenerate perturbed one.
+type Injector struct {
+	cfg Config
+	// mig is the sequential stream behind per-batch failure draws; a
+	// dedicated source keeps the other knobs' draws order-independent.
+	mig *rand.Rand
+}
+
+// New builds an injector for the config, or nil when the config injects
+// nothing. The caller should Validate first; New clamps nothing.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, mig: rand.New(rand.NewSource(splitmixed(cfg.Seed, 0x6d696772617465)))}
+}
+
+// Config returns the injector's configuration (zero for nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche over uint64,
+// used to derive order-independent draws from (seed, index) pairs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func splitmixed(seed int64, salt uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ salt))
+}
+
+// unit maps a (seed, salt, index) triple to a uniform draw in [0,1),
+// independent of evaluation order.
+func unit(seed int64, salt uint64, idx int64) float64 {
+	h := splitmix64(uint64(seed) ^ salt ^ splitmix64(uint64(idx)))
+	return float64(h>>11) / float64(1<<53)
+}
+
+// AccessFactor returns the multiplicative jitter applied to tensor id's
+// profiled access counts: uniform in [1-ProfileNoise, 1+ProfileNoise],
+// clamped at zero, derived only from the seed and the id. 1 when the
+// knob (or the injector) is off.
+func (in *Injector) AccessFactor(id int64) float64 {
+	if in == nil || in.cfg.ProfileNoise <= 0 {
+		return 1
+	}
+	f := 1 + in.cfg.ProfileNoise*(2*unit(in.cfg.Seed, 0x70726f66696c65, id)-1)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// ComputeFactor returns the compute-time multiplier for one step: uniform
+// in [1-ComputeJitter, 1+ComputeJitter], derived only from the seed and
+// the step index. 1 when the knob (or the injector) is off.
+func (in *Injector) ComputeFactor(step int) float64 {
+	if in == nil || in.cfg.ComputeJitter <= 0 {
+		return 1
+	}
+	return 1 + in.cfg.ComputeJitter*(2*unit(in.cfg.Seed, 0x636f6d70757465, int64(step))-1)
+}
+
+// MigrateBatchFails draws whether the next migration batch transiently
+// fails. Sequential: each call advances the failure stream, which is
+// deterministic within a single-threaded run. Always false when the knob
+// (or the injector) is off.
+func (in *Injector) MigrateBatchFails() bool {
+	if in == nil || in.cfg.MigrateFail <= 0 {
+		return false
+	}
+	return in.mig.Float64() < in.cfg.MigrateFail
+}
+
+// MigrateDerate returns the factor migration-channel bandwidth is scaled
+// by (1 when the knob is off).
+func (in *Injector) MigrateDerate() float64 {
+	if in == nil || in.cfg.MigrateSlow <= 0 {
+		return 1
+	}
+	return 1 - in.cfg.MigrateSlow
+}
+
+// ShrinkAt returns how many bytes of fast-tier capacity to remove at the
+// start of the given step: ShrinkFrac of the current size when step
+// matches, 0 otherwise.
+func (in *Injector) ShrinkAt(step int, fastSize int64) int64 {
+	if in == nil || !in.cfg.shrinkArmed() || step != in.cfg.ShrinkAtStep {
+		return 0
+	}
+	return int64(in.cfg.ShrinkFrac * float64(fastSize))
+}

@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestZeroConfigDisabled(t *testing.T) {
+	var c Config
+	if c.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if New(c) != nil {
+		t.Fatal("New on a disabled config must return nil")
+	}
+	if c.Key() != "" {
+		t.Fatalf("disabled config key %q, want empty", c.Key())
+	}
+	// A bare seed is not an injection.
+	c.Seed = 42
+	if c.Enabled() || New(c) != nil {
+		t.Fatal("seed alone must not enable injection")
+	}
+}
+
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var in *Injector
+	if f := in.AccessFactor(7); f != 1 {
+		t.Fatalf("nil AccessFactor = %g", f)
+	}
+	if f := in.ComputeFactor(3); f != 1 {
+		t.Fatalf("nil ComputeFactor = %g", f)
+	}
+	if in.MigrateBatchFails() {
+		t.Fatal("nil injector fails migrations")
+	}
+	if f := in.MigrateDerate(); f != 1 {
+		t.Fatalf("nil MigrateDerate = %g", f)
+	}
+	if n := in.ShrinkAt(0, 1<<30); n != 0 {
+		t.Fatalf("nil ShrinkAt = %d", n)
+	}
+}
+
+func TestSingleKnobLeavesOthersClean(t *testing.T) {
+	// An injector with only profile noise must not perturb compute,
+	// migration, or capacity — otherwise every knob sweep measures a mix.
+	in := New(Config{Seed: 1, ProfileNoise: 0.5})
+	if in == nil {
+		t.Fatal("enabled config returned nil injector")
+	}
+	if f := in.ComputeFactor(2); f != 1 {
+		t.Fatalf("profile-noise injector jitters compute: %g", f)
+	}
+	for i := 0; i < 100; i++ {
+		if in.MigrateBatchFails() {
+			t.Fatal("profile-noise injector fails migrations")
+		}
+	}
+	if f := in.MigrateDerate(); f != 1 {
+		t.Fatalf("profile-noise injector derates channels: %g", f)
+	}
+}
+
+func TestDrawsAreSeedDeterministicAndOrderIndependent(t *testing.T) {
+	cfg := Config{Seed: 42, ProfileNoise: 0.3, ComputeJitter: 0.2, MigrateFail: 0.5}
+	a, b := New(cfg), New(cfg)
+	// Hash-based draws: same answer regardless of evaluation order.
+	var fwd, rev []float64
+	for id := int64(0); id < 50; id++ {
+		fwd = append(fwd, a.AccessFactor(id))
+	}
+	for id := int64(49); id >= 0; id-- {
+		rev = append(rev, b.AccessFactor(id))
+	}
+	for i := range fwd {
+		if fwd[i] != rev[len(rev)-1-i] {
+			t.Fatalf("AccessFactor order-dependent at id %d", i)
+		}
+	}
+	// Sequential failure stream: same sequence for same seed.
+	c, d := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		if c.MigrateBatchFails() != d.MigrateBatchFails() {
+			t.Fatalf("failure stream diverged at draw %d", i)
+		}
+	}
+	// A different seed changes at least one draw.
+	e := New(Config{Seed: 43, ProfileNoise: 0.3, ComputeJitter: 0.2, MigrateFail: 0.5})
+	same := true
+	for id := int64(0); id < 50 && same; id++ {
+		same = a.AccessFactor(id) == e.AccessFactor(id)
+	}
+	if same {
+		t.Fatal("seed does not influence access factors")
+	}
+}
+
+func TestFactorsWithinAmplitude(t *testing.T) {
+	in := New(Config{Seed: 7, ProfileNoise: 0.3, ComputeJitter: 0.2})
+	for id := int64(0); id < 1000; id++ {
+		if f := in.AccessFactor(id); f < 0.7-1e-12 || f > 1.3+1e-12 {
+			t.Fatalf("AccessFactor(%d) = %g outside [0.7, 1.3]", id, f)
+		}
+	}
+	for s := 0; s < 1000; s++ {
+		if f := in.ComputeFactor(s); f < 0.8-1e-12 || f > 1.2+1e-12 {
+			t.Fatalf("ComputeFactor(%d) = %g outside [0.8, 1.2]", s, f)
+		}
+	}
+	// Extreme noise clamps at zero, never negative.
+	hot := New(Config{Seed: 7, ProfileNoise: 3})
+	for id := int64(0); id < 1000; id++ {
+		if f := hot.AccessFactor(id); f < 0 {
+			t.Fatalf("AccessFactor(%d) = %g negative", id, f)
+		}
+	}
+}
+
+func TestMigrateFailRate(t *testing.T) {
+	in := New(Config{Seed: 11, MigrateFail: 0.3})
+	fails := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.MigrateBatchFails() {
+			fails++
+		}
+	}
+	rate := float64(fails) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("failure rate %.3f far from configured 0.3", rate)
+	}
+}
+
+func TestShrinkAtFiresOnceAtConfiguredStep(t *testing.T) {
+	in := New(Config{Seed: 1, ShrinkAtStep: 2, ShrinkFrac: 0.25})
+	if n := in.ShrinkAt(1, 1000); n != 0 {
+		t.Fatalf("shrunk at wrong step: %d", n)
+	}
+	if n := in.ShrinkAt(2, 1000); n != 250 {
+		t.Fatalf("shrink bytes %d, want 250", n)
+	}
+	if n := in.ShrinkAt(3, 1000); n != 0 {
+		t.Fatalf("shrunk after its step: %d", n)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"all sane", Config{Seed: 1, ProfileNoise: 0.3, MigrateFail: 0.2, MigrateSlow: 0.5, ShrinkAtStep: 2, ShrinkFrac: 0.25, ComputeJitter: 0.2}, true},
+		{"negative noise", Config{ProfileNoise: -0.1}, false},
+		{"fail prob 1", Config{MigrateFail: 1}, false},
+		{"derate 1", Config{MigrateSlow: 1}, false},
+		{"shrink 1", Config{ShrinkFrac: 1, ShrinkAtStep: 0}, false},
+		{"jitter 2", Config{ComputeJitter: 2}, false},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestKeyDistinguishesConfigs(t *testing.T) {
+	a := Config{Seed: 1, ProfileNoise: 0.3}
+	b := Config{Seed: 2, ProfileNoise: 0.3}
+	c := Config{Seed: 1, ProfileNoise: 0.1}
+	if a.Key() == b.Key() || a.Key() == c.Key() || b.Key() == c.Key() {
+		t.Fatalf("cache keys collide: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+	if !strings.HasPrefix(a.Key(), "chaos|") {
+		t.Fatalf("key %q lacks namespace prefix", a.Key())
+	}
+}
+
+func TestRegisterFlags(t *testing.T) {
+	old := flag.CommandLine
+	defer func() { flag.CommandLine = old }()
+	flag.CommandLine = flag.NewFlagSet("test", flag.ContinueOnError)
+	cfg := RegisterFlags()
+	if cfg.Enabled() {
+		t.Fatal("freshly registered flags report enabled")
+	}
+	if err := flag.CommandLine.Parse([]string{
+		"-chaos-seed", "42", "-chaos-migrate-fail", "0.3", "-chaos-shrink-at", "2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Enabled() || cfg.Seed != 42 || cfg.MigrateFail != 0.3 {
+		t.Fatalf("flags not bound: %+v", cfg)
+	}
+	if !cfg.shrinkArmed() {
+		t.Fatal("shrink-at 2 with default frac should arm the shrink")
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	if s := (Config{}).String(); s != "chaos off" {
+		t.Fatalf("zero config string %q", s)
+	}
+	s := Config{Seed: 9, MigrateFail: 0.25, ShrinkAtStep: 3, ShrinkFrac: 0.5}.String()
+	for _, want := range []string{"seed 9", "migrate-fail 25%", "shrink 50% at step 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("config string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package exec_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"sentinel/internal/chaos"
+	"sentinel/internal/exec"
+	"sentinel/internal/graph"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/tensor"
+	"sentinel/internal/trace"
+)
+
+// twoActGraph builds a 3-layer graph producing two activations of actBytes
+// each, sized so that fast memory holds one but not both — the smallest
+// workload that forces the OOM-eviction retry inside ensureResident.
+func twoActGraph(t *testing.T, actBytes int64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder("two-act", 1)
+	w := b.Prealloc("w", tensor.Weight, 4096)
+	b.BeginLayer()
+	op := b.Op("produce-a", 1e9)
+	op.Read(w, 1)
+	a := op.Alloc("a", tensor.Activation, actBytes)
+	op.Write(a, 1)
+	b.EndLayer()
+	b.BeginLayer()
+	op2 := b.Op("produce-b", 1e9)
+	bb := op2.Alloc("b", tensor.Activation, actBytes)
+	op2.Write(bb, 1)
+	b.EndLayer()
+	b.BeginLayer()
+	op3 := b.Op("consume", 1e9)
+	op3.Read(a, 1)
+	op3.Read(bb, 1)
+	op3.Free(a)
+	op3.Free(bb)
+	b.EndLayer()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// evictAllPolicy extends the slow allocator with an evictor that pushes
+// resident tensors back to slow memory on request — enough for the engine's
+// OOM retry loop to succeed on the second attempt.
+type evictAllPolicy struct{ slowAllocPolicy }
+
+func (evictAllPolicy) MakeRoom(rt *exec.Runtime, need int64) int64 {
+	var freed int64
+	for id := range rt.Graph().Tensors {
+		if _, ok := rt.Alloc().Region(tensor.ID(id)); !ok {
+			continue
+		}
+		_, moved, _ := rt.MigrateTensor(tensor.ID(id), memsys.Slow)
+		freed += moved
+		if freed >= need {
+			break
+		}
+	}
+	return freed
+}
+
+// TestOOMRetryEvictionTraced drives the OOM-eviction retry path: the
+// consume op reads both activations but fast memory holds only one, so
+// each residency check finds the tier full, the retry loop evicts via the
+// policy, and the demand migration then succeeds. The retries must be
+// visible in the trace as oom-retry events carrying the shortfall and
+// attempt number.
+func TestOOMRetryEvictionTraced(t *testing.T) {
+	g := twoActGraph(t, 64<<20)
+	bus := trace.NewBus(0)
+	rt, err := exec.NewRuntime(g, gpuSpec(96<<20), &evictAllPolicy{}, exec.WithTrace(bus, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := rt.RunStep()
+	if err != nil {
+		t.Fatalf("step should complete after eviction retry: %v", err)
+	}
+	if st.DemandMigrations < 2 {
+		t.Fatalf("demand migrations = %d, want >= 2", st.DemandMigrations)
+	}
+	var retries []trace.Event
+	for _, e := range bus.Events() {
+		if e.Kind == trace.KOOMRetry {
+			retries = append(retries, e)
+		}
+	}
+	if len(retries) == 0 {
+		t.Fatal("no oom-retry events traced for a run that needed eviction")
+	}
+	for _, e := range retries {
+		if e.Bytes <= 0 {
+			t.Fatalf("oom-retry without a shortfall: %v", e)
+		}
+		if e.Count < 1 || e.Count > 3 {
+			t.Fatalf("oom-retry attempt out of range: %v", e)
+		}
+		if e.Name != "a" && e.Name != "b" {
+			t.Fatalf("oom-retry attributed to %q, want a blocked activation", e.Name)
+		}
+	}
+	if retries[0].Count != 1 {
+		t.Fatalf("first retry attempt = %d, want 1", retries[0].Count)
+	}
+}
+
+// runMicro executes the micro workload for steps steps with the given
+// options and returns the run stats plus the rendered trace stream.
+func runMicro(t *testing.T, steps int, opts ...exec.Option) (*metrics.RunStats, []string) {
+	t.Helper()
+	g := microGraph(t, 64<<20)
+	bus := trace.NewBus(0)
+	rt, err := exec.NewRuntime(g, gpuSpec(256<<20), &slowAllocPolicy{},
+		append([]exec.Option{exec.WithTrace(bus, "")}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := rt.RunSteps(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, e := range bus.Events() {
+		lines = append(lines, e.String())
+	}
+	return run, lines
+}
+
+// TestChaosZeroKnobsByteIdentical is acceptance criterion 4: a runtime with
+// the chaos layer attached but every knob at zero behaves byte-for-byte
+// like a clean runtime — stats and the full trace stream included. A bare
+// seed does not enable injection.
+func TestChaosZeroKnobsByteIdentical(t *testing.T) {
+	clean, cleanTrace := runMicro(t, 3)
+	for name, inj := range map[string]*chaos.Injector{
+		"nil injector":   nil,
+		"zero config":    chaos.New(chaos.Config{}),
+		"seed only":      chaos.New(chaos.Config{Seed: 12345}),
+		"shrink unarmed": chaos.New(chaos.Config{Seed: 1, ShrinkAtStep: -1, ShrinkFrac: 0.5}),
+	} {
+		got, gotTrace := runMicro(t, 3, exec.WithChaos(inj))
+		if !reflect.DeepEqual(clean, got) {
+			t.Fatalf("%s: run stats differ from clean run", name)
+		}
+		if !reflect.DeepEqual(cleanTrace, gotTrace) {
+			t.Fatalf("%s: trace stream differs from clean run", name)
+		}
+	}
+}
+
+// TestChaosSeedReproducible is acceptance criterion 3: two runs with
+// identical seeds produce identical results, down to the trace stream.
+func TestChaosSeedReproducible(t *testing.T) {
+	cfg := chaos.Config{Seed: 7, MigrateFail: 0.4, MigrateSlow: 0.3, ComputeJitter: 0.2}
+	// A fresh injector per run: the migration-failure stream is stateful.
+	a, aTrace := runMicro(t, 5, exec.WithChaos(chaos.New(cfg)))
+	b, bTrace := runMicro(t, 5, exec.WithChaos(chaos.New(cfg)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different run stats")
+	}
+	if !reflect.DeepEqual(aTrace, bTrace) {
+		t.Fatal("identical seeds produced different trace streams")
+	}
+}
+
+// TestMigrateFailCompletesDegraded is the graceful-degradation half of the
+// acceptance criteria: under heavy migration failure the run still
+// completes — via retries and, when the budget runs out, zero-copy
+// fallback — and the pain is visible as retries, a slowdown over clean,
+// and migrate-retry/degrade trace events.
+func TestMigrateFailCompletesDegraded(t *testing.T) {
+	clean, _ := runMicro(t, 5)
+	run, lines := runMicro(t, 5, exec.WithChaos(chaos.New(chaos.Config{Seed: 3, MigrateFail: 0.6})))
+	var retries int64
+	for _, st := range run.Steps {
+		retries += st.MigrateRetries
+	}
+	if retries == 0 {
+		t.Fatal("no migrate retries under 60% failure injection")
+	}
+	if run.SteadyStepTime() <= clean.SteadyStepTime() {
+		t.Fatalf("faulty steady step %v not slower than clean %v",
+			run.SteadyStepTime(), clean.SteadyStepTime())
+	}
+	var sawRetry bool
+	for _, l := range lines {
+		if len(l) > 0 && containsKind(l, string(trace.KMigrateRetry)) {
+			sawRetry = true
+			break
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no migrate-retry events in the trace stream")
+	}
+}
+
+func containsKind(line, kind string) bool {
+	for i := 0; i+len(kind) <= len(line); i++ {
+		if line[i:i+len(kind)] == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// TestMigrateFailHard checks WithFailHard: the same injector that a
+// degrading run survives becomes a typed ErrMigrationFailed when graceful
+// fallback is disabled.
+func TestMigrateFailHard(t *testing.T) {
+	g := microGraph(t, 64<<20)
+	rt, err := exec.NewRuntime(g, gpuSpec(256<<20), &slowAllocPolicy{},
+		exec.WithChaos(chaos.New(chaos.Config{Seed: 1, MigrateFail: 0.95})),
+		exec.WithFailHard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.RunSteps(5)
+	if err == nil {
+		t.Fatal("fail-hard run under 95% migration failure did not error")
+	}
+	if !errors.Is(err, exec.ErrMigrationFailed) {
+		t.Fatalf("error is not ErrMigrationFailed: %v", err)
+	}
+}
+
+// TestCapacityShrinkTypedError checks mid-run fast-tier shrink: once the
+// tier no longer holds the working set, the failure is the typed
+// ErrCapacityShrunk, which still satisfies errors.Is(err, ErrOOM), and the
+// shrink itself is traced.
+func TestCapacityShrinkTypedError(t *testing.T) {
+	g := microGraph(t, 64<<20)
+	bus := trace.NewBus(0)
+	rt, err := exec.NewRuntime(g, gpuSpec(80<<20), &slowAllocPolicy{},
+		exec.WithTrace(bus, ""),
+		exec.WithChaos(chaos.New(chaos.Config{Seed: 1, ShrinkAtStep: 1, ShrinkFrac: 0.9})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunStep(); err != nil {
+		t.Fatalf("pre-shrink step failed: %v", err)
+	}
+	_, err = rt.RunStep()
+	if err == nil {
+		t.Fatal("step after 90% fast-tier shrink did not error")
+	}
+	if !errors.Is(err, exec.ErrCapacityShrunk) {
+		t.Fatalf("error is not ErrCapacityShrunk: %v", err)
+	}
+	if !errors.Is(err, exec.ErrOOM) {
+		t.Fatalf("ErrCapacityShrunk must still be an ErrOOM: %v", err)
+	}
+	var shrunk bool
+	for _, e := range bus.Events() {
+		if e.Kind == trace.KCapShrink && e.Bytes > 0 {
+			shrunk = true
+		}
+	}
+	if !shrunk {
+		t.Fatal("no capacity-shrink event traced")
+	}
+}
+
+// TestDivergenceMonitor checks the plan-divergence monitor in both modes.
+// The slow allocator demand-migrates (and stalls) the first step, so an
+// aggressive stall threshold with a window of one fires immediately.
+func TestDivergenceMonitor(t *testing.T) {
+	aggressive := exec.DivergenceConfig{StallFrac: 0.0001, DemandFactor: 1000, MinDemand: 1 << 60, Window: 1}
+
+	t.Run("soft", func(t *testing.T) {
+		g := microGraph(t, 64<<20)
+		bus := trace.NewBus(0)
+		rt, err := exec.NewRuntime(g, gpuSpec(256<<20), &slowAllocPolicy{},
+			exec.WithTrace(bus, ""), exec.WithDivergence(aggressive))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := rt.RunSteps(4)
+		if err != nil {
+			t.Fatalf("soft divergence must complete degraded: %v", err)
+		}
+		if !run.Diverged {
+			t.Fatal("run not marked diverged")
+		}
+		var sawDiverge, sawDemandOnly bool
+		for _, e := range bus.Events() {
+			switch e.Kind {
+			case trace.KPlanDiverged:
+				sawDiverge = true
+			case trace.KDegrade:
+				if e.Count == trace.DegradeDemandOnly {
+					sawDemandOnly = true
+				}
+			}
+		}
+		if !sawDiverge || !sawDemandOnly {
+			t.Fatalf("missing divergence trace events (diverged=%v demand-only=%v)",
+				sawDiverge, sawDemandOnly)
+		}
+	})
+
+	t.Run("hard", func(t *testing.T) {
+		g := microGraph(t, 64<<20)
+		rt, err := exec.NewRuntime(g, gpuSpec(256<<20), &slowAllocPolicy{},
+			exec.WithDivergence(aggressive), exec.WithFailHard())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = rt.RunSteps(4)
+		if !errors.Is(err, exec.ErrPlanDiverged) {
+			t.Fatalf("fail-hard divergence error = %v, want ErrPlanDiverged", err)
+		}
+	})
+}
+
+// TestDerateSlowsMigration checks the bandwidth-derating knob end to end:
+// halving the interconnect makes the migration-bound first step slower
+// (steady steps of the micro workload stay resident and migrate nothing)
+// but injects no failures.
+func TestDerateSlowsMigration(t *testing.T) {
+	clean, _ := runMicro(t, 3)
+	slow, _ := runMicro(t, 3, exec.WithChaos(chaos.New(chaos.Config{Seed: 1, MigrateSlow: 0.5})))
+	if slow.TotalTime() <= clean.TotalTime() {
+		t.Fatalf("derated run %v not slower than clean %v",
+			slow.TotalTime(), clean.TotalTime())
+	}
+	var retries int64
+	for _, st := range slow.Steps {
+		retries += st.MigrateRetries
+	}
+	if retries != 0 {
+		t.Fatalf("derating alone injected %d retries", retries)
+	}
+}

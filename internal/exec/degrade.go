@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"sentinel/internal/alloc"
+	"sentinel/internal/chaos"
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/simtime"
+	"sentinel/internal/tensor"
+	"sentinel/internal/trace"
+)
+
+// Typed failure modes beyond plain ErrOOM. The paper's plan is static
+// (Sec. IV); these are the ways its assumptions break at run time.
+var (
+	// ErrMigrationFailed reports a demand migration abandoned after its
+	// retry budget, with graceful fallback disabled (WithFailHard).
+	ErrMigrationFailed = errors.New("migration failed after retries")
+	// ErrPlanDiverged reports the divergence monitor concluding the
+	// static migration plan no longer matches observed behaviour, with
+	// graceful fallback disabled (WithFailHard).
+	ErrPlanDiverged = errors.New("migration plan diverged")
+	// ErrCapacityShrunk wraps ErrOOM for out-of-memory failures that
+	// occurred after the fast tier lost capacity mid-run: the plan was
+	// sized for a machine that no longer exists. errors.Is(err, ErrOOM)
+	// still holds, so capacity-probing callers behave unchanged.
+	ErrCapacityShrunk = fmt.Errorf("fast capacity shrunk mid-run: %w", ErrOOM)
+)
+
+// Migration retry budget and backoff cap shared by the prefetch and
+// demand paths.
+const (
+	maxMigrateAttempts = 4
+	maxRetryBackoff    = simtime.Millisecond
+)
+
+// WithChaos attaches a fault injector to the runtime. A nil injector (the
+// result of chaos.New on a disabled config) attaches nothing, keeping the
+// zero-knob run byte-identical to a clean one. Attaching a live injector
+// also arms the divergence monitor with default thresholds unless
+// WithDivergence configured it explicitly.
+func WithChaos(in *chaos.Injector) Option {
+	return func(rt *Runtime) { rt.chaos = in }
+}
+
+// Chaos returns the attached fault injector, nil when none. Layers above
+// the engine (the profiler) consult it for their own perturbations.
+func (rt *Runtime) Chaos() *chaos.Injector { return rt.chaos }
+
+// WithFailHard makes the runtime surface degradation as typed errors
+// (ErrMigrationFailed, ErrPlanDiverged) instead of falling back to demand
+// paging or zero-copy access. Default off: runs complete degraded.
+func WithFailHard() Option {
+	return func(rt *Runtime) { rt.failHard = true }
+}
+
+// DivergenceConfig tunes the plan-divergence monitor. The monitor has no
+// oracle: it judges each step against the best step observed so far,
+// which a valid static plan keeps representative.
+type DivergenceConfig struct {
+	// StallFrac flags a step whose exposed stall time exceeds this
+	// fraction of its duration.
+	StallFrac float64
+	// DemandFactor flags a step with more than DemandFactor times the
+	// best observed step's demand migrations.
+	DemandFactor float64
+	// MinDemand is the floor below which demand-migration counts are
+	// never flagged (quiet plans have noisy small counts).
+	MinDemand int64
+	// Window is how many consecutive flagged steps it takes to declare
+	// divergence; isolated bad steps are tolerated.
+	Window int
+}
+
+// DefaultDivergence returns the thresholds armed by WithChaos: half the
+// step stalled, or 4x the best step's demand migrations (at least 8), two
+// steps in a row.
+func DefaultDivergence() DivergenceConfig {
+	return DivergenceConfig{StallFrac: 0.5, DemandFactor: 4, MinDemand: 8, Window: 2}
+}
+
+// WithDivergence arms the plan-divergence monitor with explicit
+// thresholds; it works with or without a fault injector.
+func WithDivergence(cfg DivergenceConfig) Option {
+	return func(rt *Runtime) { rt.div = &divMonitor{cfg: cfg, bestDemand: -1} }
+}
+
+// divMonitor accumulates the divergence evidence across steps.
+type divMonitor struct {
+	cfg DivergenceConfig
+	// bestDemand is the fewest demand migrations any step has needed so
+	// far (-1 before the first step) — the monitor's stand-in for "what
+	// the plan predicts".
+	bestDemand int64
+	bad        int
+	fired      bool
+}
+
+// checkDivergence runs at each step's close. On divergence it either
+// degrades to demand-only mode (prefetch suppressed run-wide) or, under
+// WithFailHard, returns ErrPlanDiverged.
+func (rt *Runtime) checkDivergence(st *metrics.StepStats) error {
+	m := rt.div
+	if m == nil || m.fired {
+		return nil
+	}
+	var reasons []byte
+	if st.Duration > 0 && m.cfg.StallFrac > 0 &&
+		float64(st.StallTime) > m.cfg.StallFrac*float64(st.Duration) {
+		reasons = fmt.Appendf(reasons, "stall %.0f%% of step", 100*float64(st.StallTime)/float64(st.Duration))
+	}
+	if m.bestDemand >= 0 && st.DemandMigrations >= m.cfg.MinDemand &&
+		float64(st.DemandMigrations) > m.cfg.DemandFactor*float64(m.bestDemand) {
+		if len(reasons) > 0 {
+			reasons = append(reasons, ", "...)
+		}
+		reasons = fmt.Appendf(reasons, "%d demand migrations vs best %d", st.DemandMigrations, m.bestDemand)
+	}
+	if m.bestDemand < 0 || st.DemandMigrations < m.bestDemand {
+		m.bestDemand = st.DemandMigrations
+	}
+	if len(reasons) == 0 {
+		m.bad = 0
+		return nil
+	}
+	m.bad++
+	if m.bad < m.cfg.Window {
+		return nil
+	}
+	m.fired = true
+	st.Diverged = true
+	rt.run.Diverged = true
+	detail := string(reasons)
+	rt.emit(trace.Event{At: rt.now, Kind: trace.KPlanDiverged, Tensor: trace.NoTensor, Name: detail})
+	if rt.failHard {
+		return fmt.Errorf("%w: %s", ErrPlanDiverged, detail)
+	}
+	rt.demandOnly = true
+	rt.emit(trace.Event{At: rt.now, Kind: trace.KDegrade, Tensor: trace.NoTensor,
+		Count: trace.DegradeDemandOnly})
+	return nil
+}
+
+// noteRetry accounts one transiently failed migration batch.
+func (rt *Runtime) noteRetry(id tensor.ID, name string, n int64, attempt int) {
+	if rt.st != nil {
+		rt.st.MigrateRetries++
+	}
+	rt.emit(trace.Event{At: rt.now, Kind: trace.KMigrateRetry, Tensor: id, Name: name,
+		Bytes: n, Count: int64(attempt)})
+}
+
+// degradeTensor permanently downgrades one tensor to in-place (zero-copy)
+// slow-tier access: the engine stops migrating it and ops read it over
+// the interconnect, trading bandwidth for forward progress.
+func (rt *Runtime) degradeTensor(t *tensor.Tensor, reason int64) {
+	if rt.degraded == nil {
+		rt.degraded = make(map[tensor.ID]bool)
+	}
+	rt.degraded[t.ID] = true
+	if rt.st != nil {
+		rt.st.Degraded++
+	}
+	rt.emit(trace.Event{At: rt.now, Kind: trace.KDegrade, Tensor: t.ID, Name: t.Name, Count: reason})
+}
+
+// demandMigrate is MigrateUrgent under fault injection: a transiently
+// failed batch wastes the urgent channel path (the bytes crossed and were
+// thrown away), then the engine backs off — the wasted transfer plus an
+// exponentially growing pause, capped — and retries. After the retry
+// budget it returns ErrMigrationFailed; the caller degrades or, under
+// WithFailHard, propagates.
+func (rt *Runtime) demandMigrate(r alloc.Region, t *tensor.Tensor) (done simtime.Time, moved, short int64, err error) {
+	for attempt := 1; ; attempt++ {
+		if !rt.chaos.MigrateBatchFails() {
+			done, moved, short = rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
+			return done, moved, short, nil
+		}
+		n := rt.k.MigrateStats(r.Addr, r.Size, memsys.Fast, rt.now)
+		if n == 0 {
+			return rt.now, 0, 0, nil
+		}
+		wasted := rt.k.ChargeChannel(memsys.Fast, n, rt.now, true)
+		rt.noteRetry(t.ID, t.Name, n, attempt)
+		pause := rt.spec.DemandFaultCost << (attempt - 1)
+		if pause > maxRetryBackoff {
+			pause = maxRetryBackoff
+		}
+		rt.WaitUntil(wasted.Add(pause))
+		if attempt >= maxMigrateAttempts {
+			return rt.now, 0, 0, fmt.Errorf("%w: demand-migrating %s (%d attempts)",
+				ErrMigrationFailed, t.Name, attempt)
+		}
+	}
+}
+
+// oomErr returns the sentinel to wrap out-of-fast-memory failures with:
+// plain ErrOOM normally, ErrCapacityShrunk once the fast tier has been
+// shrunk mid-run (which still satisfies errors.Is(err, ErrOOM)).
+func (rt *Runtime) oomErr() error {
+	if rt.shrunk {
+		return ErrCapacityShrunk
+	}
+	return ErrOOM
+}

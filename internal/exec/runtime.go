@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"sentinel/internal/alloc"
+	"sentinel/internal/chaos"
 	"sentinel/internal/graph"
 	"sentinel/internal/kernel"
 	"sentinel/internal/memsys"
@@ -50,6 +51,27 @@ type Runtime struct {
 	traceBus *trace.Bus
 	traceRun string
 	curLayer int
+
+	// chaos injects faults when attached (WithChaos); nil injects
+	// nothing, and every draw below then returns the identity.
+	chaos *chaos.Injector
+	// div is the plan-divergence monitor (WithDivergence, or armed by
+	// WithChaos with defaults); nil disables the check.
+	div *divMonitor
+	// failHard surfaces degradation as typed errors instead of falling
+	// back (WithFailHard).
+	failHard bool
+	// stepJitter scales op compute time for the step in flight.
+	stepJitter float64
+	// shrunk records that the fast tier lost capacity mid-run; OOM
+	// failures from then on wrap ErrCapacityShrunk.
+	shrunk bool
+	// degraded holds tensors downgraded to zero-copy slow-tier access
+	// after their migrations were abandoned; never migrated again.
+	degraded map[tensor.ID]bool
+	// demandOnly suppresses prefetch into fast memory after the plan
+	// diverged; demand migrations still run.
+	demandOnly bool
 }
 
 // SetPinnedAccess toggles pinned (zero-copy) host access on a GPU-like
@@ -71,19 +93,30 @@ func NewRuntime(g *graph.Graph, spec memsys.Spec, p Policy, opts ...Option) (*Ru
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
 	k, err := kernel.New(spec)
 	if err != nil {
 		return nil, err
 	}
 	rt := &Runtime{
-		g:      g,
-		spec:   spec,
-		k:      k,
-		policy: p,
-		run:    metrics.RunStats{Policy: p.Name(), Model: g.Model, Batch: g.Batch},
+		g:          g,
+		spec:       spec,
+		k:          k,
+		policy:     p,
+		run:        metrics.RunStats{Policy: p.Name(), Model: g.Model, Batch: g.Batch},
+		stepJitter: 1,
 	}
 	for _, o := range opts {
 		o(rt)
+	}
+	if f := rt.chaos.MigrateDerate(); f != 1 {
+		k.InChannel().Derate(f)
+		k.OutChannel().Derate(f)
+	}
+	if rt.chaos != nil && rt.div == nil {
+		rt.div = &divMonitor{cfg: DefaultDivergence(), bestDemand: -1}
 	}
 	rt.wireTrace()
 	rt.a = alloc.New(k, p.AllocConfig(g))
@@ -168,6 +201,9 @@ func (rt *Runtime) Run() *metrics.RunStats { return &rt.run }
 // shares with neighbours move too — page-level false sharing is real here.
 // The shortfall reports bytes that did not fit on dst.
 func (rt *Runtime) MigrateTensor(id tensor.ID, dst memsys.Tier) (done simtime.Time, moved, shortfall int64) {
+	if dst == memsys.Fast && rt.degraded[id] {
+		return rt.now, 0, 0
+	}
 	r, ok := rt.a.Region(id)
 	if !ok {
 		return rt.now, 0, 0
@@ -175,11 +211,37 @@ func (rt *Runtime) MigrateTensor(id tensor.ID, dst memsys.Tier) (done simtime.Ti
 	return rt.MigrateRange(r.Addr, r.Size, dst)
 }
 
-// MigrateRange migrates an address range; see MigrateTensor.
+// MigrateRange migrates an address range; see MigrateTensor. Under fault
+// injection a batch may transiently fail: the failed attempt wastes its
+// channel bandwidth (the bytes crossed and were thrown away) and the
+// batch is retried up to its budget; an abandoned prefetch leaves the
+// pages where they are, to be demand-migrated on touch. In demand-only
+// degraded mode, prefetch into fast memory is suppressed entirely
+// (evictions to slow still run).
 func (rt *Runtime) MigrateRange(addr, size int64, dst memsys.Tier) (done simtime.Time, moved, shortfall int64) {
-	done, moved, shortfall = rt.k.Migrate(addr, size, dst, rt.now)
-	rt.noteMigration(dst, moved)
-	return done, moved, shortfall
+	if rt.demandOnly && dst == memsys.Fast {
+		return rt.now, 0, 0
+	}
+	for attempt := 1; ; attempt++ {
+		if !rt.chaos.MigrateBatchFails() {
+			done, moved, shortfall = rt.k.Migrate(addr, size, dst, rt.now)
+			rt.noteMigration(dst, moved)
+			return done, moved, shortfall
+		}
+		n := rt.k.MigrateStats(addr, size, dst, rt.now)
+		if n == 0 {
+			return rt.now, 0, 0
+		}
+		rt.k.ChargeChannel(dst, n, rt.now, false)
+		rt.noteRetry(trace.NoTensor, "", n, attempt)
+		if attempt >= maxMigrateAttempts {
+			if dst == memsys.Fast {
+				rt.emit(trace.Event{At: rt.now, Kind: trace.KDegrade, Tensor: trace.NoTensor,
+					Bytes: n, Count: trace.DegradeDemandPaging})
+			}
+			return rt.now, 0, 0
+		}
+	}
 }
 
 // noteMigration folds a completed migration submission into the step
@@ -240,6 +302,15 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 	}
 	rt.st = st
 	rt.curLayer = -1
+	rt.stepJitter = rt.chaos.ComputeFactor(step)
+	if n := rt.chaos.ShrinkAt(step, rt.k.Spec().Fast.Size); n > 0 {
+		if removed := rt.k.ShrinkFast(n); removed > 0 {
+			rt.spec.Fast.Size = rt.k.Spec().Fast.Size
+			rt.shrunk = true
+			rt.emit(trace.Event{At: rt.now, Kind: trace.KCapShrink,
+				Tensor: trace.NoTensor, Bytes: removed})
+		}
+	}
 	stepStart := rt.now
 	rt.policy.StepStart(step)
 	curLayer := -1
@@ -275,6 +346,10 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 	// StepEnd may stall (e.g. draining migrations); fold that in.
 	st.Duration = rt.now.Sub(stepStart)
 	rt.emit(trace.Event{At: stepStart, Dur: st.Duration, Kind: trace.KStep, Tensor: trace.NoTensor})
+	if err := rt.checkDivergence(st); err != nil {
+		rt.st = nil
+		return nil, fmt.Errorf("step %d: %w", step, err)
+	}
 	rt.st = nil
 	rt.run.Steps = append(rt.run.Steps, st)
 	return st, nil
@@ -331,7 +406,7 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		}
 		r, err := rt.a.Alloc(t)
 		if err != nil {
-			return fmt.Errorf("%w: allocating %s (%s)", ErrOOM, t.Name, simtime.Bytes(t.Size))
+			return fmt.Errorf("%w: allocating %s (%s)", rt.oomErr(), t.Name, simtime.Bytes(t.Size))
 		}
 		rt.emit(trace.Event{At: rt.now, Kind: trace.KAlloc, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
 		rt.policy.TensorAllocated(t, r)
@@ -355,7 +430,7 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		start = s
 	}
 
-	computeT := simtime.FromSeconds(op.FLOPs / rt.spec.ComputeRate)
+	computeT := simtime.FromSeconds(op.FLOPs * rt.stepJitter / rt.spec.ComputeRate)
 	var memT simtime.Duration
 	var faults int64
 	for _, ac := range op.Accesses {
@@ -475,6 +550,11 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 		}
 	}
 	for _, ac := range op.Accesses {
+		if rt.degraded[ac.Tensor] {
+			// Zero-copy fallback: the op reads this tensor in place over
+			// the interconnect (the access split charges slow bandwidth).
+			continue
+		}
 		r, ok := rt.a.Region(ac.Tensor)
 		if !ok {
 			return 0, fmt.Errorf("residency check on unallocated tensor %d", ac.Tensor)
@@ -494,7 +574,7 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 					_, short = rt.k.Relocate(r.Addr, r.Size, memsys.Fast, rt.now)
 				}
 				if short > 0 {
-					return 0, fmt.Errorf("%w: recomputing %s", ErrOOM, t.Name)
+					return 0, fmt.Errorf("%w: recomputing %s", rt.oomErr(), t.Name)
 				}
 				_ = moved
 				st.RecomputeTime += d
@@ -514,8 +594,8 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 				Name: t.Name, Bytes: need - free, Count: int64(attempt + 1)})
 			rt.makeRoomFor(need)
 		}
-		done, moved, short := rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
-		if short > 0 {
+		done, moved, short, derr := rt.demandMigrate(r, t)
+		if derr == nil && short > 0 {
 			// Much of fast memory may be tied up in in-flight
 			// transfers that eviction cannot touch; block until the
 			// migration channels drain (the real runtime waits on its
@@ -524,11 +604,18 @@ func (rt *Runtime) ensureResident(op *graph.Op) (simtime.Time, error) {
 			settle := simtime.Max(rt.k.InChannel().BusyUntil(), rt.k.OutChannel().BusyUntil())
 			rt.WaitUntil(settle.Add(simtime.Microsecond))
 			rt.makeRoomFor(need)
-			done, moved, short = rt.k.MigrateUrgent(r.Addr, r.Size, memsys.Fast, rt.now)
+			done, moved, short, derr = rt.demandMigrate(r, t)
+		}
+		if derr != nil {
+			if rt.failHard {
+				return 0, derr
+			}
+			rt.degradeTensor(t, trace.DegradeZeroCopy)
+			continue
 		}
 		if short > 0 {
 			return 0, fmt.Errorf("%w: demand-migrating %s (%s short; fast used %s free %s, %d live allocs in %d arenas)",
-				ErrOOM, t.Name, simtime.Bytes(short), simtime.Bytes(rt.k.Used(memsys.Fast)),
+				rt.oomErr(), t.Name, simtime.Bytes(short), simtime.Bytes(rt.k.Used(memsys.Fast)),
 				simtime.Bytes(rt.k.Free(memsys.Fast)), rt.a.Live(), rt.a.ArenaCount())
 		}
 		rt.noteMigration(memsys.Fast, moved)

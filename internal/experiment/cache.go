@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sentinel/internal/chaos"
 	"sentinel/internal/core"
 	"sentinel/internal/exec"
 	"sentinel/internal/gpu"
@@ -91,15 +92,22 @@ type cellRun struct {
 	steps  int
 	mil    int              // ForceMIL for the sentinel policy; 0 = model-chosen
 	trace  simtime.Duration // bandwidth-trace bucket width; 0 = off
+	chaos  chaos.Config     // fault injection; zero = clean run
 }
 
 // key canonicalizes the cell for memoization. Capacity enters through the
 // tier sizes: presets share a Name, so WithFastSize variants must not
 // collide.
 func (c cellRun) key() string {
-	return fmt.Sprintf("run|%s|b%d|%s|f%d|s%d|%s|n%d|mil%d|tr%d",
+	k := fmt.Sprintf("run|%s|b%d|%s|f%d|s%d|%s|n%d|mil%d|tr%d",
 		c.model, c.batch, c.spec.Name, c.spec.Fast.Size, c.spec.Slow.Size,
 		c.policy, c.steps, c.mil, c.trace)
+	// Chaos knobs change the cell's result; a disabled config contributes
+	// nothing, so clean cells keep their pre-chaos keys.
+	if ck := c.chaos.Key(); ck != "" {
+		k += "|" + ck
+	}
+	return k
 }
 
 // label names the cell's run in trace events: policy, model, batch, and
@@ -110,6 +118,9 @@ func (c cellRun) label() string {
 		c.policy, c.model, c.batch, c.spec.Name, simtime.Bytes(c.spec.Fast.Size))
 	if c.mil > 0 {
 		l += fmt.Sprintf("/mil=%d", c.mil)
+	}
+	if ck := c.chaos.Key(); ck != "" {
+		l += "/" + ck
 	}
 	return l
 }
@@ -127,6 +138,9 @@ func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 	if bus != nil {
 		opts = append(opts, exec.WithTrace(bus, c.label()))
 	}
+	if c.chaos.Enabled() {
+		opts = append(opts, exec.WithChaos(chaos.New(c.chaos)))
+	}
 	if c.mil > 0 {
 		cfg := core.DefaultConfig()
 		cfg.ForceMIL = c.mil
@@ -143,6 +157,9 @@ func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 // *RunStats are shared across cells and experiments; they are read-only
 // once the run completes.
 func (o Options) run(c cellRun) (*metrics.RunStats, error) {
+	if !c.chaos.Enabled() && o.Chaos.Enabled() {
+		c.chaos = o.Chaos
+	}
 	return cacheDo(o, c.key(), func() (*metrics.RunStats, error) { return c.execute(o.Trace) })
 }
 
@@ -205,15 +222,19 @@ func (o Options) collectProfile(modelName string, batch int, spec memsys.Spec) (
 	})
 }
 
-// maxBatch memoizes the Table V max-batch search per (model, policy).
+// maxBatch memoizes the Table V max-batch search per (model, policy). The
+// policy name is validated up front: MaxBatch's factory cannot return an
+// error, and a bad name must fail the cell, not the process.
 func (o Options) maxBatch(modelName string, spec memsys.Spec, policy string, limit int) (int, error) {
+	if _, err := policyset.New(policy); err != nil {
+		return 0, fmt.Errorf("max-batch %s: %w", modelName, err)
+	}
 	key := fmt.Sprintf("maxb|%s|%s|f%d|%s|l%d", modelName, spec.Name, spec.Fast.Size, policy, limit)
 	return cacheDo(o, key, func() (int, error) {
 		return gpu.MaxBatch(modelName, spec, func() exec.Policy {
-			p, err := policyset.New(policy)
-			if err != nil {
-				panic(err) // policy names are registry constants
-			}
+			// Validated above; a registry lookup cannot fail between
+			// the check and here.
+			p, _ := policyset.New(policy)
 			return p
 		}, limit)
 	})

@@ -28,12 +28,14 @@ var registry = map[string]Func{
 	"table3":           Table3,
 	"table4":           Table4,
 	"table5":           Table5,
+	"robustness":       Robustness,
 }
 
 // order is the presentation order for "all".
 var order = []string{
 	"table1", "table2", "characterization", "fig5", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "table3", "table4", "fig12", "fig13", "table5",
+	"robustness",
 }
 
 // extras are runnable but not part of "all" (raw data dumps).

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"sentinel/internal/chaos"
 	"sentinel/internal/simtime"
 	"sentinel/internal/trace"
 )
@@ -103,6 +104,11 @@ type Options struct {
 	// label. Cells served from the plan cache do not re-execute and so
 	// appear in the trace only once.
 	Trace *trace.Bus
+	// Chaos applies fault injection to every cell that does not carry its
+	// own (the -chaos-* flags of sentinel-bench). The zero value is a
+	// clean run. Chaos cells are cached under chaos-qualified keys, so a
+	// shared cache never serves a clean result for a perturbed cell.
+	Chaos chaos.Config
 }
 
 // DefaultOptions returns the full-fidelity settings.

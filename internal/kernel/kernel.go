@@ -9,6 +9,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -16,6 +17,10 @@ import (
 	"sentinel/internal/simtime"
 	"sentinel/internal/trace"
 )
+
+// ErrAlreadyMapped reports a Map whose page range overlaps an existing
+// mapping. Callers distinguish it from capacity failures with errors.Is.
+var ErrAlreadyMapped = errors.New("kernel: range already mapped")
 
 // Page geometry. 4 KiB pages, as on the paper's x86 platform.
 const (
@@ -172,7 +177,7 @@ func (k *Kernel) Map(first, last PageID, tier memsys.Tier) error {
 	}
 	i := k.findIdx(first)
 	if i < len(k.runs) && k.runs[i].start <= PageID(last) {
-		return fmt.Errorf("kernel: map: range [%d,%d] overlaps mapped run [%d,%d)", first, last, k.runs[i].start, k.runs[i].end)
+		return fmt.Errorf("%w: [%d,%d] overlaps run [%d,%d)", ErrAlreadyMapped, first, last, k.runs[i].start, k.runs[i].end)
 	}
 	k.runs = append(k.runs, run{})
 	copy(k.runs[i+1:], k.runs[i:])
@@ -391,6 +396,42 @@ func (k *Kernel) migrate(addr, size int64, dst memsys.Tier, at simtime.Time, urg
 			Tensor: trace.NoTensor, Bytes: moved})
 	}
 	return done, moved, shortfall
+}
+
+// ShrinkFast permanently removes up to n bytes of fast-tier capacity,
+// modelling co-tenant memory pressure appearing mid-run. The tier never
+// shrinks below one page. Already-mapped pages stay mapped, so Free(Fast)
+// can go negative until the engine evicts down to the new ceiling.
+// Returns the bytes actually removed.
+func (k *Kernel) ShrinkFast(n int64) int64 {
+	if max := k.spec.Fast.Size - PageSize; n > max {
+		n = max
+	}
+	if n <= 0 {
+		return 0
+	}
+	k.spec.Fast.Size -= n
+	return n
+}
+
+// ChargeChannel occupies the migration channel toward dst with n bytes of
+// traffic that moves no pages — the wasted service time of a transiently
+// failed migration batch (the data crossed the interconnect, then was
+// thrown away). Urgent charges take the preempting derated fault path;
+// ordinary ones queue behind pending prefetch traffic. Returns the
+// instant the wasted transfer completes.
+func (k *Kernel) ChargeChannel(dst memsys.Tier, n int64, at simtime.Time, urgent bool) simtime.Time {
+	if n <= 0 {
+		return at
+	}
+	ch := k.in
+	if dst == memsys.Slow {
+		ch = k.out
+	}
+	if urgent {
+		return ch.SubmitUrgent(at, n)
+	}
+	return ch.Submit(at, n)
 }
 
 // Relocate instantly reassigns the pages of [addr, addr+size) to dst

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -53,13 +54,14 @@ func TestMapUnmapAccounting(t *testing.T) {
 	if got := k.Used(memsys.Fast); got != 4*PageSize {
 		t.Fatalf("used = %d", got)
 	}
-	// Overlapping map must fail.
-	if err := k.Map(3, 6, memsys.Slow); err == nil {
-		t.Fatal("overlapping map succeeded")
+	// Overlapping map must fail with the typed error.
+	if err := k.Map(3, 6, memsys.Slow); !errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("overlapping map: %v, want ErrAlreadyMapped", err)
 	}
-	// Capacity is enforced: fast is 1 MiB = 256 pages.
-	if err := k.Map(1000, 1000+300, memsys.Fast); err == nil {
-		t.Fatal("over-capacity map succeeded")
+	// Capacity is enforced: fast is 1 MiB = 256 pages. That failure is
+	// NOT an overlap.
+	if err := k.Map(1000, 1000+300, memsys.Fast); err == nil || errors.Is(err, ErrAlreadyMapped) {
+		t.Fatalf("over-capacity map: %v", err)
 	}
 	k.Unmap(2, 3, 0)
 	if got := k.Used(memsys.Fast); got != 2*PageSize {
@@ -265,6 +267,90 @@ func TestMigrateUrgentFasterThanQueued(t *testing.T) {
 	urgent, _, _ := k.MigrateUrgent(200*PageSize, 10*PageSize, memsys.Fast, 0)
 	if urgent >= queued {
 		t.Fatalf("urgent (%v) not faster than queued (%v)", urgent, queued)
+	}
+}
+
+func TestMapOverlapVariants(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(10, 19, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	// Every overlap shape is rejected: contained, containing, straddling
+	// either edge, and exact.
+	for _, c := range [][2]PageID{{12, 15}, {5, 25}, {5, 10}, {19, 25}, {10, 19}} {
+		if err := k.Map(c[0], c[1], memsys.Fast); !errors.Is(err, ErrAlreadyMapped) {
+			t.Errorf("map [%d,%d]: %v, want ErrAlreadyMapped", c[0], c[1], err)
+		}
+	}
+	// A failed map must not corrupt accounting.
+	if got := k.Used(memsys.Slow); got != 10*PageSize {
+		t.Fatalf("used after failed maps = %d", got)
+	}
+	// Adjacent, non-overlapping ranges still map.
+	if err := k.Map(20, 29, memsys.Slow); err != nil {
+		t.Fatalf("adjacent map: %v", err)
+	}
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatalf("preceding map: %v", err)
+	}
+}
+
+func TestShrinkFast(t *testing.T) {
+	k := newKernel(t) // 1 MiB fast
+	if err := k.Map(0, 199, memsys.Fast); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.ShrinkFast(512 * 1024); got != 512*1024 {
+		t.Fatalf("shrunk %d, want 512 KiB", got)
+	}
+	if k.Spec().Fast.Size != 512*1024 {
+		t.Fatalf("fast size %d after shrink", k.Spec().Fast.Size)
+	}
+	// 200 pages mapped > 128-page ceiling: Free goes negative, mappings survive.
+	if free := k.Free(memsys.Fast); free >= 0 {
+		t.Fatalf("free = %d, want negative under the new ceiling", free)
+	}
+	if got := k.Used(memsys.Fast); got != 200*PageSize {
+		t.Fatalf("mapped bytes changed by shrink: %d", got)
+	}
+	// The tier never shrinks below one page.
+	if got := k.ShrinkFast(1 << 30); got != 512*1024-PageSize {
+		t.Fatalf("clamped shrink removed %d", got)
+	}
+	if k.Spec().Fast.Size != PageSize {
+		t.Fatalf("fast size %d, want one page floor", k.Spec().Fast.Size)
+	}
+	if got := k.ShrinkFast(-5); got != 0 {
+		t.Fatalf("negative shrink removed %d", got)
+	}
+}
+
+func TestChargeChannelWastesBandwidth(t *testing.T) {
+	k := newKernel(t)
+	if err := k.Map(0, 9, memsys.Slow); err != nil {
+		t.Fatal(err)
+	}
+	// A wasted charge occupies the in-channel without moving pages...
+	done := k.ChargeChannel(memsys.Fast, 10*PageSize, 0, false)
+	want := simtime.Time(simtime.TransferTime(10*PageSize, 1e9))
+	if done != want {
+		t.Fatalf("charge done at %v, want %v", done, want)
+	}
+	if fast, _ := k.TierBytes(0, 10*PageSize, done); fast != 0 {
+		t.Fatal("charge moved pages")
+	}
+	// ...and a real migration submitted afterwards queues behind it.
+	migDone, _, _ := k.Migrate(0, 10*PageSize, memsys.Fast, 0)
+	if migDone != 2*want {
+		t.Fatalf("migration after charge done at %v, want %v", migDone, 2*want)
+	}
+	// Urgent charges preempt (complete before the queued backlog drains).
+	k.ChargeChannel(memsys.Fast, 100*PageSize, 0, false)
+	if u := k.ChargeChannel(memsys.Fast, PageSize, 0, true); u >= k.InChannel().BusyUntil() {
+		t.Fatal("urgent charge waited behind the queue")
+	}
+	if got := k.ChargeChannel(memsys.Fast, 0, 5, false); got != 5 {
+		t.Fatalf("zero-byte charge returned %v", got)
 	}
 }
 

@@ -65,6 +65,15 @@ func (c *Channel) MovedBytes() int64 { return c.moved }
 // Bandwidth reports the channel's configured bandwidth in bytes/second.
 func (c *Channel) Bandwidth() float64 { return c.bw }
 
+// Derate scales the channel's bandwidth by factor in (0,1], modelling a
+// saturated or degraded interconnect. Transfers already queued keep their
+// completion instants; only future submissions see the reduced rate.
+func (c *Channel) Derate(factor float64) {
+	if factor > 0 && factor <= 1 {
+		c.bw *= factor
+	}
+}
+
 // Reset clears queue state and counters, keeping the bandwidth.
 func (c *Channel) Reset() {
 	c.busyUntil = 0

@@ -96,20 +96,35 @@ type Spec struct {
 	GPULike bool
 }
 
+// minFastSize is one 4 KiB page — the kernel's page size, redeclared
+// here because kernel imports memsys, not the reverse. A fast tier
+// smaller than one page can hold nothing, so every placement and
+// migration into it degenerates.
+const minFastSize = 4096
+
 // Validate reports configuration errors that would otherwise surface as
 // absurd simulation results.
 func (s *Spec) Validate() error {
 	if s.Fast.Size <= 0 || s.Slow.Size <= 0 {
 		return fmt.Errorf("memsys: %s: tier sizes must be positive (fast=%d slow=%d)", s.Name, s.Fast.Size, s.Slow.Size)
 	}
+	if s.Fast.Size < minFastSize {
+		return fmt.Errorf("memsys: %s: fast tier %d B smaller than one page (%d B)", s.Name, s.Fast.Size, minFastSize)
+	}
 	if s.Fast.ReadBW <= 0 || s.Fast.WriteBW <= 0 || s.Slow.ReadBW <= 0 || s.Slow.WriteBW <= 0 {
 		return fmt.Errorf("memsys: %s: tier bandwidths must be positive", s.Name)
+	}
+	if s.Fast.Latency <= 0 || s.Slow.Latency <= 0 {
+		return fmt.Errorf("memsys: %s: tier latencies must be positive (fast=%v slow=%v)", s.Name, s.Fast.Latency, s.Slow.Latency)
 	}
 	if s.MigrationBW <= 0 {
 		return fmt.Errorf("memsys: %s: migration bandwidth must be positive", s.Name)
 	}
 	if s.ComputeRate <= 0 {
 		return fmt.Errorf("memsys: %s: compute rate must be positive", s.Name)
+	}
+	if s.FaultCost < 0 || s.DemandFaultCost < 0 || s.SyncCost < 0 {
+		return fmt.Errorf("memsys: %s: fault/sync costs must be non-negative", s.Name)
 	}
 	if s.OverlapFactor < 0 || s.OverlapFactor > 1 {
 		return fmt.Errorf("memsys: %s: overlap factor %.2f outside [0,1]", s.Name, s.OverlapFactor)

@@ -22,10 +22,16 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	}{
 		{"zero fast size", func(s *Spec) { s.Fast.Size = 0 }},
 		{"negative slow size", func(s *Spec) { s.Slow.Size = -1 }},
+		{"fast below one page", func(s *Spec) { s.Fast.Size = 4095 }},
 		{"zero read bw", func(s *Spec) { s.Fast.ReadBW = 0 }},
 		{"zero write bw", func(s *Spec) { s.Slow.WriteBW = 0 }},
+		{"zero fast latency", func(s *Spec) { s.Fast.Latency = 0 }},
+		{"negative slow latency", func(s *Spec) { s.Slow.Latency = -1 }},
 		{"zero migration bw", func(s *Spec) { s.MigrationBW = 0 }},
 		{"zero compute", func(s *Spec) { s.ComputeRate = 0 }},
+		{"negative fault cost", func(s *Spec) { s.FaultCost = -1 }},
+		{"negative demand-fault cost", func(s *Spec) { s.DemandFaultCost = -1 }},
+		{"negative sync cost", func(s *Spec) { s.SyncCost = -1 }},
 		{"overlap > 1", func(s *Spec) { s.OverlapFactor = 1.5 }},
 		{"overlap < 0", func(s *Spec) { s.OverlapFactor = -0.1 }},
 	}
@@ -93,6 +99,25 @@ func TestChannelUrgentPreempts(t *testing.T) {
 	// The backlog is pushed back by the same amount.
 	if c.BusyUntil() <= simtime.Time(10*simtime.Second) {
 		t.Fatal("backlog not pushed back by urgent transfer")
+	}
+}
+
+func TestChannelDerate(t *testing.T) {
+	c := NewChannel(1e9)
+	c.Derate(0.5)
+	if c.Bandwidth() != 0.5e9 {
+		t.Fatalf("derated bandwidth %g", c.Bandwidth())
+	}
+	// The derate applies to future submissions.
+	if done := c.Submit(0, 1e9); done != simtime.Time(2*simtime.Second) {
+		t.Fatalf("derated transfer done at %v, want 2s", done)
+	}
+	// Out-of-range factors are ignored.
+	c.Derate(0)
+	c.Derate(-1)
+	c.Derate(2)
+	if c.Bandwidth() != 0.5e9 {
+		t.Fatalf("bandwidth changed by invalid derate: %g", c.Bandwidth())
 	}
 }
 

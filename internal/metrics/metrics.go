@@ -40,6 +40,14 @@ type StepStats struct {
 	FastBytes, SlowBytes int64
 	// Faults counts profiling protection faults.
 	Faults int64
+	// MigrateRetries counts migration batches that transiently failed
+	// and were retried (fault injection).
+	MigrateRetries int64
+	// Degraded counts tensors downgraded to zero-copy slow-tier access
+	// this step, after their migrations were abandoned.
+	Degraded int64
+	// Diverged marks the step at which the plan-divergence monitor fired.
+	Diverged bool
 	// PeakMapped is the peak mapped bytes observed during the step.
 	PeakMapped int64
 	// PeakFastUsed is the peak fast-tier usage observed during the step.
@@ -74,6 +82,9 @@ type RunStats struct {
 	Model  string
 	Batch  int
 	Steps  []*StepStats
+	// Diverged reports that the plan-divergence monitor fired at some
+	// step and the run finished degraded (demand-only mode).
+	Diverged bool
 }
 
 // SteadyStep returns the last step, which policies have warmed up by;

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"sentinel/internal/alloc"
+	"sentinel/internal/chaos"
 	"sentinel/internal/exec"
 	"sentinel/internal/graph"
 	"sentinel/internal/kernel"
@@ -164,10 +165,42 @@ func (rec *Recorder) TensorFreed(t *tensor.Tensor, _ alloc.Region) {
 }
 
 // Assemble finishes recording and builds the Profile from the step's
-// statistics; it also switches fault accounting back off.
+// statistics; it also switches fault accounting back off. If the runtime
+// carries a fault injector with profiling noise, the assembled access
+// counts are jittered per tensor — the profiled step misrepresenting the
+// steady state, which is exactly the plan-quality stress the chaos layer
+// exists to apply.
 func (rec *Recorder) Assemble(st *metrics.StepStats) *Profile {
 	rec.rt.Kernel().SetProfiling(false)
-	return assemble(rec.rt.Graph(), st, rec.stats)
+	p := assemble(rec.rt.Graph(), st, rec.stats)
+	applyNoise(p, rec.rt.Chaos())
+	return p
+}
+
+// applyNoise scales each tensor's observed access counts by its injected
+// jitter factor. PerLayer shares the graph's ground-truth slices, so it
+// is copied before scaling — the workload itself must stay pristine.
+func applyNoise(p *Profile, inj *chaos.Injector) {
+	if inj == nil || inj.Config().ProfileNoise <= 0 {
+		return
+	}
+	for i := range p.Tensors {
+		ts := &p.Tensors[i]
+		f := inj.AccessFactor(int64(ts.ID))
+		if f == 1 || len(ts.PerLayer) == 0 {
+			continue
+		}
+		noisy := make([]tensor.LayerAccess, len(ts.PerLayer))
+		var n int64
+		for j, a := range ts.PerLayer {
+			a.Reads = int(f*float64(a.Reads) + 0.5)
+			a.Writes = int(f*float64(a.Writes) + 0.5)
+			noisy[j] = a
+			n += int64(a.Reads + a.Writes)
+		}
+		ts.PerLayer = noisy
+		ts.Accesses = n
+	}
 }
 
 // collector is the standalone profiling policy: page-aligned slow

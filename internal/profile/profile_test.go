@@ -3,6 +3,8 @@ package profile
 import (
 	"testing"
 
+	"sentinel/internal/chaos"
+	"sentinel/internal/exec"
 	"sentinel/internal/memsys"
 	"sentinel/internal/model"
 )
@@ -167,5 +169,62 @@ func TestProfilingNeverUsesFastMemory(t *testing.T) {
 	// the total peak.
 	if p.PeakShortLived <= 0 || p.PeakShortLived >= p.PeakMemory {
 		t.Fatalf("short-lived peak %d vs peak %d", p.PeakShortLived, p.PeakMemory)
+	}
+}
+
+func TestProfileNoisePerturbsObservations(t *testing.T) {
+	g, err := model.Build("resnet32", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Collect(g, memsys.OptaneHM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := Collect(g, memsys.OptaneHM(),
+		exec.WithChaos(chaos.New(chaos.Config{Seed: 11, ProfileNoise: 0.5})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for i := range noisy.Tensors {
+		ns, cs := &noisy.Tensors[i], &clean.Tensors[i]
+		if ns.Accesses != cs.Accesses {
+			changed++
+		}
+		// Lifetimes are observed from (de)allocation events, which the
+		// noise must not touch.
+		if ns.AllocLayer != cs.AllocLayer || ns.FreeLayer != cs.FreeLayer {
+			t.Fatalf("%s: noise changed the observed lifetime", ns.Name)
+		}
+		// Which layers access the tensor is structural; only the counts
+		// jitter.
+		if len(ns.PerLayer) != len(cs.PerLayer) {
+			t.Fatalf("%s: noise changed the access-layer set", ns.Name)
+		}
+		for j := range ns.PerLayer {
+			if ns.PerLayer[j].Layer != cs.PerLayer[j].Layer {
+				t.Fatalf("%s: noise moved an access to another layer", ns.Name)
+			}
+		}
+		// The graph's ground truth must stay pristine: the noised
+		// profile misrepresents the workload, it does not change it.
+		if ns.Accesses > 0 && int(cs.Accesses) != g.Tensors[i].TotalAccesses() {
+			t.Fatalf("%s: noise leaked into the graph's access counts", ns.Name)
+		}
+	}
+	if changed == 0 {
+		t.Fatal("50% profile noise left every access count unchanged")
+	}
+	// Identical seeds reproduce the same noisy profile.
+	again, err := Collect(g, memsys.OptaneHM(),
+		exec.WithChaos(chaos.New(chaos.Config{Seed: 11, ProfileNoise: 0.5})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range noisy.Tensors {
+		if noisy.Tensors[i].Accesses != again.Tensors[i].Accesses {
+			t.Fatalf("%s: same seed produced different noise", noisy.Tensors[i].Name)
+		}
 	}
 }

@@ -167,6 +167,18 @@ func WriteChrome(w io.Writer, events []Event) error {
 		case KOOMRetry:
 			instant(e, tidAllocator, "oom-retry",
 				map[string]any{"tensor": e.Name, "need_bytes": e.Bytes, "attempt": e.Count})
+		case KMigrateRetry:
+			instant(e, tidMigrateIn, "migrate-retry: "+e.Name,
+				map[string]any{"tensor": e.Name, "bytes": e.Bytes, "attempt": e.Count, "step": e.Step, "layer": e.Layer})
+		case KDegrade:
+			instant(e, tidCompute, "degrade: "+e.Name,
+				map[string]any{"tensor": e.Name, "reason": degradeReason(e.Count), "step": e.Step, "layer": e.Layer})
+		case KPlanDiverged:
+			instant(e, tidCompute, "plan-diverged",
+				map[string]any{"detail": e.Name, "step": e.Step})
+		case KCapShrink:
+			instant(e, tidAllocator, "capacity-shrink",
+				map[string]any{"bytes": e.Bytes, "step": e.Step})
 		case KAccess:
 			name := "traffic-fast"
 			if e.Tier == TierSlow {

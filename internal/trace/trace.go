@@ -73,6 +73,21 @@ const (
 	// KPlace records a co-allocation decision: which packing group a
 	// tensor was assigned to (internal/alloc).
 	KPlace Kind = "place"
+	// KMigrateRetry records a migration batch that transiently failed
+	// and is being retried; the failed attempt's channel time is wasted
+	// (internal/exec, under fault injection).
+	KMigrateRetry Kind = "migrate-retry"
+	// KDegrade records the runtime degrading service: falling back to
+	// demand paging or zero-copy access for a tensor, or suppressing
+	// prefetch entirely (internal/exec).
+	KDegrade Kind = "degrade"
+	// KPlanDiverged records the divergence monitor concluding that the
+	// static migration plan no longer matches observed behaviour
+	// (internal/exec).
+	KPlanDiverged Kind = "plan-diverged"
+	// KCapShrink records the fast tier losing capacity mid-run, e.g.
+	// injected co-tenant pressure (internal/exec).
+	KCapShrink Kind = "capacity-shrink"
 )
 
 // Kinds returns every event kind, in schema order. docs/TRACING.md must
@@ -81,7 +96,8 @@ func Kinds() []Kind {
 	return []Kind{
 		KStep, KLayer, KAlloc, KFree, KStall, KDemand, KOOMRetry,
 		KAccess, KMigrateIn, KMigrateOut, KFault, KArenaGrow,
-		KArenaReclaim, KPlace,
+		KArenaReclaim, KPlace, KMigrateRetry, KDegrade, KPlanDiverged,
+		KCapShrink,
 	}
 }
 
@@ -116,6 +132,32 @@ func (t Tier) String() string {
 // NoTensor is the Tensor field value for events not attributed to a
 // tensor. Emitters must set it explicitly: tensor.ID zero is a valid id.
 const NoTensor tensor.ID = -1
+
+// Degradation reasons, carried in a degrade event's Count field.
+const (
+	// DegradeDemandPaging: the tensor's prefetches are abandoned; it is
+	// fetched on demand from now on.
+	DegradeDemandPaging int64 = 1
+	// DegradeZeroCopy: the tensor is pinned in the slow tier and accessed
+	// in place, never migrated again.
+	DegradeZeroCopy int64 = 2
+	// DegradeDemandOnly: prefetching is suppressed run-wide; every
+	// migration from here on is demand-driven.
+	DegradeDemandOnly int64 = 3
+)
+
+func degradeReason(c int64) string {
+	switch c {
+	case DegradeDemandPaging:
+		return "demand paging"
+	case DegradeZeroCopy:
+		return "zero-copy"
+	case DegradeDemandOnly:
+		return "demand-only mode"
+	default:
+		return fmt.Sprintf("reason %d", c)
+	}
+}
 
 // Event is one structured trace record. Instant events have Dur == 0;
 // span events cover [At, At+Dur). All times are virtual nanoseconds since
@@ -193,6 +235,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12v step=%d layer=%d arena-reclaim %s from %s", t, e.Step, e.Layer, simtime.Bytes(e.Bytes), e.Tier)
 	case KPlace:
 		return fmt.Sprintf("%12v step=%d layer=%d place tensor %d -> %s (%s)", t, e.Step, e.Layer, e.Tensor, name, simtime.Bytes(e.Bytes))
+	case KMigrateRetry:
+		return fmt.Sprintf("%12v step=%d layer=%d migrate-retry %s (%s) attempt %d", t, e.Step, e.Layer, name, simtime.Bytes(e.Bytes), e.Count)
+	case KDegrade:
+		return fmt.Sprintf("%12v step=%d layer=%d degrade %s: %s", t, e.Step, e.Layer, name, degradeReason(e.Count))
+	case KPlanDiverged:
+		return fmt.Sprintf("%12v step=%d layer=%d plan-diverged %s", t, e.Step, e.Layer, name)
+	case KCapShrink:
+		return fmt.Sprintf("%12v step=%d layer=%d capacity-shrink -%s", t, e.Step, e.Layer, simtime.Bytes(e.Bytes))
 	default: // alloc, free, and any future instant kind
 		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, name, simtime.Bytes(e.Bytes))
 	}
