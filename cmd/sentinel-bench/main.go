@@ -6,6 +6,13 @@
 // as wide as the machine allows while emitting tables byte-identical to a
 // sequential run.
 //
+// Long sweeps are crash-safe: -journal records every completed cell in a
+// durable on-disk log, -resume pre-warms the plan cache from it so a
+// killed sweep restarts only its incomplete cells, -cell-timeout
+// quarantines livelocked cells, and SIGINT/SIGTERM cancels cleanly —
+// in-flight cells are abandoned, the journal and trace are flushed, and
+// partial tables are emitted marked incomplete.
+//
 // Usage:
 //
 //	sentinel-bench                 # run everything, GOMAXPROCS-wide
@@ -14,13 +21,19 @@
 //	sentinel-bench -seq            # sequential reference path (no pool, no cache)
 //	sentinel-bench -quick          # trimmed sweeps
 //	sentinel-bench -list           # list experiment ids
+//	sentinel-bench -journal dir    # journal completed cells to dir/results.journal
+//	sentinel-bench -journal dir -resume   # resume a killed sweep
+//	sentinel-bench -cell-timeout 5m       # quarantine cells stuck past 5 minutes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sentinel/internal/chaos"
@@ -31,21 +44,27 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id or comma-separated list (see -list)")
-		quick    = flag.Bool("quick", false, "trimmed sweeps for quick runs")
-		steps    = flag.Int("steps", 5, "training steps per configuration")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		format   = flag.String("format", "text", "output format: text, csv, or json")
-		workers  = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = sequential)")
-		seq      = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
-		progress = flag.Bool("progress", stderrIsTerminal(), "live cell-completion progress on stderr")
+		exp         = flag.String("exp", "all", "experiment id or comma-separated list (see -list)")
+		quick       = flag.Bool("quick", false, "trimmed sweeps for quick runs")
+		steps       = flag.Int("steps", 5, "training steps per configuration")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		format      = flag.String("format", "text", "output format: text, csv, or json")
+		workers     = flag.Int("workers", 0, "concurrent experiment cells (0 = GOMAXPROCS, 1 = sequential)")
+		seq         = flag.Bool("seq", false, "sequential reference path: one worker, plan cache disabled")
+		progress    = flag.Bool("progress", stderrIsTerminal(), "live cell-completion progress on stderr")
+		journalDir  = flag.String("journal", "", "directory for the durable result journal (completed cells survive a crash)")
+		resume      = flag.Bool("resume", false, "pre-warm the plan cache from the journal before sweeping (requires -journal)")
+		cellTimeout = flag.Duration("cell-timeout", 0, "per-cell wall-clock deadline; cells past it are quarantined (0 = none)")
 	)
 	tf := tracecli.Register()
 	cf := chaos.RegisterFlags()
 	flag.Parse()
-	if err := cf.Validate(); err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
 		os.Exit(1)
+	}
+	if err := cf.Validate(); err != nil {
+		fail(err)
 	}
 
 	if *list {
@@ -55,12 +74,22 @@ func main() {
 		return
 	}
 
-	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers, Trace: tf.Bus(), Chaos: *cf}
+	// SIGINT/SIGTERM cancel the sweep: cells not yet started are skipped,
+	// in-flight cells are abandoned, and everything below the experiment
+	// loop — journal flush, trace export, partial tables — still runs.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers,
+		Trace: tf.Bus(), Chaos: *cf, Ctx: ctx, CellTimeout: *cellTimeout}
 	if *seq {
 		// The reference path the golden determinism tests compare
 		// against: strictly sequential and cache-free.
 		opts.Workers = 1
 		opts.NoCache = true
+		if *journalDir != "" {
+			fail(fmt.Errorf("-journal needs the plan cache; it is incompatible with -seq"))
+		}
 	} else {
 		// One cache across the whole sweep: recurring cells (fast-only
 		// references, repeated model/policy pairs) compute once.
@@ -71,31 +100,64 @@ func main() {
 		sp = metrics.NewSweepProgress(os.Stderr)
 		opts.Progress = sp
 	}
+	if *resume && *journalDir == "" {
+		fail(fmt.Errorf("-resume requires -journal"))
+	}
+	if *journalDir != "" {
+		j, err := experiment.OpenJournal(*journalDir)
+		if err != nil {
+			fail(err)
+		}
+		defer j.Close()
+		opts.Journal = j
+		if *resume {
+			restored, skipped, err := j.Replay(opts.Cache)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "journal: resumed %d cells from %s (%d corrupt or duplicate records skipped)\n",
+				restored, j.Path(), skipped)
+			if sp != nil {
+				sp.AddResumed(restored)
+			}
+		}
+	}
+
 	sweepStart := time.Now()
 	ids := experiment.DefaultIDs()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
 	}
+	// Every requested experiment runs even if an earlier one fails; the
+	// failures are reported together at the end and the exit code is
+	// non-zero. Cancellation is the one early exit — and even then the
+	// journal, trace, and summary still flush below.
+	var failures []string
+	ran := 0
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			break
+		}
+		id = strings.TrimSpace(id)
 		start := time.Now()
-		t, err := experiment.Run(strings.TrimSpace(id), opts)
+		t, err := experiment.Run(id, opts)
 		if sp != nil {
 			sp.Break()
 		}
+		ran++
 		if err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", id, err))
 			fmt.Fprintf(os.Stderr, "sentinel-bench: %s: %v\n", id, err)
-			os.Exit(1)
+			continue
 		}
 		switch *format {
 		case "csv":
 			if err := t.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		case "json":
 			if err := t.WriteJSON(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
-				os.Exit(1)
+				fail(err)
 			}
 		default:
 			fmt.Println(t)
@@ -104,12 +166,44 @@ func main() {
 	}
 	if sp != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s across %d experiments (wall-clock %v)\n",
-			sp.Summary(), len(ids), time.Since(sweepStart).Round(time.Millisecond))
+			sp.Summary(), ran, time.Since(sweepStart).Round(time.Millisecond))
+	}
+	if opts.Cache != nil && (*progress || opts.Journal != nil) {
+		fmt.Fprintf(os.Stderr, "cache: %s\n", opts.Cache.Stats())
+	}
+	if opts.Journal != nil {
+		if err := opts.Journal.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "sentinel-bench: journal sync:", err)
+		}
+		if err := opts.Journal.Err(); err != nil {
+			failures = append(failures, fmt.Sprintf("journal: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "journal: %d cells appended to %s\n",
+			opts.Journal.Appended(), opts.Journal.Path())
 	}
 	if err := tf.Write(); err != nil {
-		fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
+		fail(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "sweep interrupted after %d/%d experiments; completed cells are journaled%s\n",
+			ran, len(ids), resumeHint(*journalDir))
+		os.Exit(130)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "sentinel-bench: %d experiment(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  -", f)
+		}
 		os.Exit(1)
 	}
+}
+
+// resumeHint names the resume command when a journal is in play.
+func resumeHint(dir string) string {
+	if dir == "" {
+		return " only if -journal was set"
+	}
+	return fmt.Sprintf("; rerun with -journal %s -resume", dir)
 }
 
 // stderrIsTerminal reports whether stderr is an interactive terminal; the

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"sentinel/internal/chaos"
 	"sentinel/internal/core"
@@ -28,15 +30,24 @@ import (
 // Lookups are singleflight: the first worker to request a key computes it
 // while any concurrent requester for the same key blocks until that
 // computation finishes, so two pool workers never duplicate a plan build.
+//
+// The cache is also the resume point of the crash-safe sweep layer:
+// Seed pre-warms entries from a result journal, and hit/miss/wait
+// counters (Stats) make resume effectiveness measurable.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	stats   struct {
+		hits, misses, waits, seeded, resumeHits atomic.Int64
+	}
 }
 
 type cacheEntry struct {
-	once sync.Once
-	val  any
-	err  error
+	once   sync.Once
+	val    any
+	err    error
+	seeded bool        // pre-warmed from a journal, not computed
+	done   atomic.Bool // computation finished (or entry was seeded)
 }
 
 // NewCache returns an empty cache, safe for concurrent use. One cache may
@@ -47,7 +58,11 @@ func NewCache() *Cache {
 }
 
 // do returns the memoized value for key, computing it at most once.
-// Concurrent callers with the same key wait for the single computation.
+// Concurrent callers with the same key wait for the single computation;
+// a failing compute is memoized and its error returned to every waiter,
+// never silently converted into a cached success. A panicking compute is
+// captured as a *PanicError so waiters blocked on the same key observe
+// the typed failure instead of a poisoned (nil, nil) entry.
 func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
@@ -56,8 +71,45 @@ func (c *Cache) do(key string, compute func() (any, error)) (any, error) {
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
+	switch {
+	case !ok:
+		c.stats.misses.Add(1)
+	case e.done.Load():
+		c.stats.hits.Add(1)
+		if e.seeded {
+			c.stats.resumeHits.Add(1)
+		}
+	default:
+		c.stats.waits.Add(1)
+	}
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			e.done.Store(true)
+		}()
+		e.val, e.err = compute()
+	})
 	return e.val, e.err
+}
+
+// Seed installs a completed entry for key without computing it — the
+// journal replay path. An existing entry (computed or in flight) wins:
+// Seed never overwrites, so replaying a journal with duplicate keys or
+// replaying into a warm cache is harmless.
+func (c *Cache) Seed(key string, val any) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	e := &cacheEntry{val: val, seeded: true}
+	e.once.Do(func() {}) // mark the computation as already performed
+	e.done.Store(true)
+	c.entries[key] = e
+	c.stats.seeded.Add(1)
+	return true
 }
 
 // Len reports how many keys have been requested so far.
@@ -65,6 +117,17 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats returns a point-in-time snapshot of the cache's counters.
+func (c *Cache) Stats() metrics.CacheStats {
+	return metrics.CacheStats{
+		Hits:       c.stats.hits.Load(),
+		Misses:     c.stats.misses.Load(),
+		Waits:      c.stats.waits.Load(),
+		Seeded:     c.stats.seeded.Load(),
+		ResumeHits: c.stats.resumeHits.Load(),
+	}
 }
 
 // cacheDo memoizes compute under key when o carries a cache; otherwise it
@@ -155,25 +218,66 @@ func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 
 // run executes one cell, memoized when the plan cache is enabled. Cached
 // *RunStats are shared across cells and experiments; they are read-only
-// once the run completes.
+// once the run completes. Freshly computed (never cached or quarantined)
+// results are appended to the result journal under the cell's cache key —
+// chaos-qualified keys included, so a resumed sweep can never serve a
+// clean result for a perturbed cell.
 func (o Options) run(c cellRun) (*metrics.RunStats, error) {
 	if !c.chaos.Enabled() && o.Chaos.Enabled() {
 		c.chaos = o.Chaos
 	}
-	return cacheDo(o, c.key(), func() (*metrics.RunStats, error) { return c.execute(o.Trace) })
+	key := c.key()
+	return cacheDo(o, key, func() (*metrics.RunStats, error) {
+		if o.cellHook != nil {
+			o.cellHook(c)
+		}
+		r, err := c.execute(o.Trace)
+		if err == nil && o.Journal != nil {
+			// A failed append must not fail the cell — the result is
+			// valid; only its durability is lost. The journal records
+			// the error for the end-of-sweep report.
+			o.Journal.Append(key, r)
+		}
+		return r, err
+	})
 }
 
 // runAll submits a batch of cells through the worker pool, returning run
-// stats in cell order with per-cell error context.
+// stats in cell order with per-cell error context. Quarantinable failures
+// (panic, deadline, cancellation) do not fail the sweep: the cell is
+// recorded for the table footer and contributes placeholder (zeroed)
+// stats, so every other cell still completes and renders.
+//
+// The deadline/cancel watchdog is applied here, inside the pool fn, so
+// its typed errors flow through the quarantine check instead of escaping
+// straight out of runCells as sweep errors; the pool itself gets a
+// watchdog-free Options to avoid double-wrapping each cell.
 func (o Options) runAll(cells []cellRun) ([]*metrics.RunStats, error) {
-	return runCells(o, len(cells), func(i int) (*metrics.RunStats, error) {
-		r, err := o.run(cells[i])
+	pool := o
+	pool.Ctx, pool.CellTimeout = nil, 0
+	return runCells(pool, len(cells), func(i int) (*metrics.RunStats, error) {
+		c := cells[i]
+		r, err := runCell(o, func(int) (*metrics.RunStats, error) { return o.run(c) }, i)
 		if err != nil {
-			c := cells[i]
+			if o.quar != nil && quarantinable(err) {
+				o.quar.record(o.Trace, c.label(), o.CellTimeout, err)
+				return quarantinedStats(c), nil
+			}
 			return nil, fmt.Errorf("%s %s b%d: %w", c.policy, c.model, c.batch, err)
 		}
 		return r, nil
 	})
+}
+
+// quarantinedStats is the placeholder result of a quarantined cell: the
+// cell's identity with a single zeroed step, so row assembly that derefs
+// the steady step renders zeros/"n/a" instead of crashing, and the table
+// footer explains why.
+func quarantinedStats(c cellRun) *metrics.RunStats {
+	return &metrics.RunStats{
+		Policy: c.policy, Model: c.model, Batch: c.batch,
+		Steps: []*metrics.StepStats{{}},
+	}
 }
 
 // peak returns the model's peak step memory, memoized per (model, batch)

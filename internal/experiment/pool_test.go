@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -143,6 +144,109 @@ func TestRunCellsErr(t *testing.T) {
 	}
 }
 
+// TestRunCellsPanicRecovery: a panicking cell becomes a typed per-cell
+// error joined into the sweep result; the process survives and every
+// other cell still runs. This holds on both the sequential and pool paths.
+func TestRunCellsPanicRecovery(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var calls atomic.Int64
+			res, err := runCells(Options{Workers: workers}, 8, func(i int) (int, error) {
+				calls.Add(1)
+				if i == 3 {
+					panic(fmt.Sprintf("bug in cell %d", i))
+				}
+				return i, nil
+			})
+			if calls.Load() != 8 {
+				t.Fatalf("ran %d cells, want 8 (a panic must not abort the sweep)", calls.Load())
+			}
+			if !errors.Is(err, ErrCellPanicked) {
+				t.Fatalf("err = %v, want ErrCellPanicked", err)
+			}
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatal("no *PanicError in chain")
+			}
+			if pe.Value != "bug in cell 3" || len(pe.Stack) == 0 {
+				t.Fatalf("PanicError lost its payload: value=%v stack=%d bytes", pe.Value, len(pe.Stack))
+			}
+			for i, v := range res {
+				if i != 3 && v != i {
+					t.Errorf("res[%d] = %d, want %d", i, v, i)
+				}
+			}
+		})
+	}
+}
+
+// TestRunCellsTimeout: a cell past Options.CellTimeout is abandoned with
+// ErrCellTimeout; fast cells are untouched.
+func TestRunCellsTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	res, err := runCells(Options{Workers: 4, CellTimeout: 50 * time.Millisecond}, 6,
+		func(i int) (int, error) {
+			if i == 2 {
+				<-release // hang until the test ends
+			}
+			return i * 10, nil
+		})
+	if !errors.Is(err, ErrCellTimeout) {
+		t.Fatalf("err = %v, want ErrCellTimeout", err)
+	}
+	if want := "cell 2:"; !contains(err, want) {
+		t.Fatalf("error %q does not attribute the timeout to cell 2", err)
+	}
+	for i, v := range res {
+		if i != 2 && v != i*10 {
+			t.Errorf("res[%d] = %d, want %d", i, v, i*10)
+		}
+	}
+	if res[2] != 0 {
+		t.Errorf("timed-out cell left a partial result %d", res[2])
+	}
+}
+
+// TestRunCellsCancel: a cancelled context skips cells that have not
+// started; every skipped cell reports context.Canceled.
+func TestRunCellsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	_, err := runCells(Options{Workers: 2, Ctx: ctx}, 16, func(i int) (int, error) {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled cell", err)
+	}
+	if n := started.Load(); n >= 16 {
+		t.Fatalf("all %d cells started despite cancellation", n)
+	}
+}
+
+// TestRunCellsPreCancelled: a context cancelled before the sweep starts
+// runs no cell at all.
+func TestRunCellsPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := runCells(Options{Workers: 4, Ctx: ctx}, 8, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if calls.Load() != 0 {
+		t.Fatalf("%d cells ran under a pre-cancelled context", calls.Load())
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
 func TestCacheSingleflight(t *testing.T) {
 	c := NewCache()
 	var computes atomic.Int64
@@ -223,5 +327,107 @@ func TestCacheDoError(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("error computed %d times; errors memoize like values", calls)
+	}
+}
+
+// TestCacheDoErrorConcurrent: a failing compute must be returned to every
+// concurrent waiter on the key and must never be replaced by a cached
+// success — computing exactly once, failing everywhere.
+func TestCacheDoErrorConcurrent(t *testing.T) {
+	c := NewCache()
+	boom := errors.New("boom")
+	var computes atomic.Int64
+	const callers = 32
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	vals := make([]int, callers)
+	for g := 0; g < callers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[g], errs[g] = cacheDo(Options{Cache: c}, "bad", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(2 * time.Millisecond) // hold waiters in singleflight
+				return 99, boom
+			})
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("failing compute ran %d times, want 1", n)
+	}
+	for g := 0; g < callers; g++ {
+		if !errors.Is(errs[g], boom) {
+			t.Fatalf("caller %d: err = %v, want boom (a failure must reach every waiter)", g, errs[g])
+		}
+		if vals[g] != 0 {
+			t.Fatalf("caller %d: failing compute leaked value %d alongside its error", g, vals[g])
+		}
+	}
+	// And it stays a failure: a later lookup must not find a success.
+	if _, err := cacheDo(Options{Cache: c}, "bad", func() (int, error) {
+		t.Fatal("failed entry recomputed")
+		return 0, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("post-failure lookup: err = %v, want the memoized failure", err)
+	}
+}
+
+// TestCachePanicTyped: a compute that panics poisons neither the waiters
+// nor the entry — everyone sees a typed ErrCellPanicked, never (nil, nil).
+func TestCachePanicTyped(t *testing.T) {
+	c := NewCache()
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, callers)
+	for g := 0; g < callers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[g] = c.do("explodes", func() (any, error) {
+				time.Sleep(2 * time.Millisecond)
+				panic("compute bug")
+			})
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if !errors.Is(err, ErrCellPanicked) {
+			t.Fatalf("caller %d: err = %v, want ErrCellPanicked", g, err)
+		}
+	}
+}
+
+func TestCacheSeedAndStats(t *testing.T) {
+	c := NewCache()
+	if !c.Seed("warm", 41) {
+		t.Fatal("seeding a fresh key failed")
+	}
+	if c.Seed("warm", 42) {
+		t.Fatal("re-seeding overwrote an existing entry")
+	}
+	// A hit on the seeded entry counts as a resume hit.
+	v, err := c.do("warm", func() (any, error) {
+		t.Fatal("seeded entry recomputed")
+		return nil, nil
+	})
+	if err != nil || v != 41 {
+		t.Fatalf("seeded lookup: v=%v err=%v", v, err)
+	}
+	// A miss then a plain hit on a computed entry.
+	if _, err := c.do("cold", func() (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.do("cold", func() (any, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Seeded != 1 || s.ResumeHits != 1 || s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want seeded=1 resumeHits=1 hits=2 misses=1", s)
+	}
+	if got := s.String(); !strings.Contains(got, "2 hits") || !strings.Contains(got, "1 journaled cells seeded") {
+		t.Fatalf("stats rendering %q", got)
 	}
 }

@@ -47,12 +47,25 @@ var extras = map[string]bool{
 // the worker pool (Options.Workers wide) and memoizes shared stages in
 // Options.Cache — a fresh per-experiment cache is created here unless the
 // caller shares one across experiments or disables caching.
+//
+// Cells that panic, exceed Options.CellTimeout, or are cancelled by
+// Options.Ctx are quarantined rather than fatal: the rest of the sweep
+// completes and the table renders with an incomplete-table marker and one
+// footer note per quarantined cell.
 func Run(id string, o Options) (*Table, error) {
 	f, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiment: unknown id %q (known: %v)", id, IDs())
 	}
-	return f(o.normalized())
+	o = o.normalized()
+	t, err := f(o)
+	if err != nil {
+		return nil, err
+	}
+	if t != nil {
+		t.Notes = append(t.Notes, o.quar.report()...)
+	}
+	return t, nil
 }
 
 // IDs lists experiment ids in presentation order. Raw-dump experiments

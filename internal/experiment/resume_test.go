@@ -1,0 +1,334 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sentinel/internal/chaos"
+	"sentinel/internal/trace"
+)
+
+// These are the acceptance tests for the crash-safe sweep layer: a journal
+// written by one sweep must let a second sweep render byte-identical
+// tables without recomputing a single cell; a corrupted journal must
+// degrade to recomputation, never to wrong output; and panicking, hung,
+// and cancelled cells must quarantine with typed errors while the rest of
+// the sweep completes and renders.
+
+// TestResumeByteIdenticalTables is the kill-and-resume determinism bar,
+// in-process: sweep once with a journal, then sweep again from a cold
+// cache seeded only by the journal — the second sweep must recompute
+// nothing and render byte-identical tables.
+func TestResumeByteIdenticalTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Journal: j}
+	want, err := Run("fig5", first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cache := NewCache()
+	restored, skipped, err := j2.Replay(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 || skipped != 0 {
+		t.Fatalf("replay: restored=%d skipped=%d", restored, skipped)
+	}
+	second := Options{Steps: 3, Quick: true, Workers: 4, Cache: cache, Journal: j2}
+	got, err := Run("fig5", second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.String(), want.String(); g != w {
+		t.Errorf("resumed table differs from original\n--- original ---\n%s\n--- resumed ---\n%s", w, g)
+	}
+	// Every simulation cell must have come from the journal: the resumed
+	// sweep appends nothing and the cache reports resume hits.
+	if n := j2.Appended(); n != 0 {
+		t.Errorf("resumed sweep recomputed and re-journaled %d cells", n)
+	}
+	if s := cache.Stats(); s.ResumeHits == 0 {
+		t.Errorf("no resume hits recorded: %+v", s)
+	}
+}
+
+// TestResumeAfterCorruptTail: a journal whose tail record was mangled
+// still resumes — the damaged cell recomputes and the table is
+// byte-identical to the uninterrupted run.
+func TestResumeAfterCorruptTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run("fig5", Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Chop the last few bytes and smear garbage over the cut.
+	path := filepath.Join(dir, journalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data[:len(data)-5], []byte("JUNK")...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cache := NewCache()
+	restored, skipped, err := j2.Replay(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped == 0 {
+		t.Fatal("corrupt tail went undetected")
+	}
+	got, err := Run("fig5", Options{Steps: 3, Quick: true, Workers: 4, Cache: cache, Journal: j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := got.String(), want.String(); g != w {
+		t.Errorf("recovered table differs\n--- original ---\n%s\n--- recovered ---\n%s", w, g)
+	}
+	// The recomputed cell must have been re-journaled.
+	if restored > 0 && j2.Appended() == 0 {
+		t.Error("damaged cell was not re-journaled on recovery")
+	}
+}
+
+// TestResumeNeverServesCleanForPerturbed: chaos-qualified cache keys must
+// survive the journal round trip, so a sweep resumed under fault injection
+// cannot reuse a clean run's results.
+func TestResumeNeverServesCleanForPerturbed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Options{Steps: 3, Quick: true, Workers: 2, Cache: NewCache(), Journal: j}
+	if _, err := Run("fig5", clean); err != nil {
+		t.Fatal(err)
+	}
+	cleanCells := j.Appended()
+	j.Close()
+
+	j2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	cache := NewCache()
+	if _, _, err := j2.Replay(cache); err != nil {
+		t.Fatal(err)
+	}
+	perturbed := Options{Steps: 3, Quick: true, Workers: 2, Cache: cache, Journal: j2,
+		Chaos: chaos.Config{Seed: 7, ComputeJitter: 0.2}}
+	if _, err := Run("fig5", perturbed); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.ResumeHits != 0 {
+		t.Errorf("perturbed sweep took %d results from the clean journal", s.ResumeHits)
+	}
+	if j2.Appended() != cleanCells {
+		// Every perturbed cell recomputed under its chaos-qualified key.
+		t.Logf("perturbed sweep journaled %d cells (clean run had %d)", j2.Appended(), cleanCells)
+	}
+	if j2.Appended() == 0 {
+		t.Error("perturbed cells were not recomputed")
+	}
+}
+
+// TestQuarantinePanickedCell: a cell whose simulation panics is
+// quarantined with ErrCellPanicked while the remaining cells complete and
+// the table renders with the incomplete marker.
+func TestQuarantinePanickedCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	bus := trace.NewBus(0)
+	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus}
+	o.cellHook = func(c cellRun) {
+		if c.mil == 3 {
+			panic("injected cell bug")
+		}
+	}
+	tbl, err := Run("fig5", o)
+	if err != nil {
+		t.Fatalf("sweep failed instead of quarantining: %v", err)
+	}
+	rendered := tbl.String()
+	if !strings.Contains(rendered, "TABLE INCOMPLETE") {
+		t.Errorf("missing incomplete-table marker:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "cell panicked") {
+		t.Errorf("footer does not name the panic:\n%s", rendered)
+	}
+	// The healthy cells still rendered real (non-placeholder) values.
+	healthy := 0
+	for _, row := range tbl.Rows {
+		if row[1] != "0ns" {
+			healthy++
+		}
+	}
+	if healthy < len(tbl.Rows)-1 {
+		t.Errorf("only %d of %d rows rendered despite one quarantined cell:\n%s", healthy, len(tbl.Rows), rendered)
+	}
+	// The quarantine is visible on the trace bus as a typed event.
+	found := false
+	for _, e := range bus.Events() {
+		if e.Kind == trace.KCellPanic {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no cell-panic event on the trace bus")
+	}
+}
+
+// TestQuarantineHungCell: a cell that never finishes trips the per-cell
+// deadline and quarantines with ErrCellTimeout; the sweep completes.
+func TestQuarantineHungCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	release := make(chan struct{})
+	defer close(release) // unblock the abandoned goroutine at test end
+	bus := trace.NewBus(0)
+	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus,
+		CellTimeout: 150 * time.Millisecond}
+	o.cellHook = func(c cellRun) {
+		if c.mil == 5 {
+			<-release // livelocked simulation
+		}
+	}
+	tbl, err := Run("fig5", o)
+	if err != nil {
+		t.Fatalf("sweep failed instead of quarantining: %v", err)
+	}
+	rendered := tbl.String()
+	if !strings.Contains(rendered, "TABLE INCOMPLETE") {
+		t.Errorf("missing incomplete-table marker:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "cell timed out") {
+		t.Errorf("footer does not name the timeout:\n%s", rendered)
+	}
+	found := false
+	for _, e := range bus.Events() {
+		if e.Kind == trace.KCellTimeout {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no cell-timeout event on the trace bus")
+	}
+}
+
+// TestSweepCancelRendersPartialTables: a cancelled context skips every
+// cell but the experiment still returns a rendered table marked
+// incomplete — the graceful-shutdown path.
+func TestSweepCancelRendersPartialTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the sweep starts: everything is skipped
+	bus := trace.NewBus(0)
+	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus, Ctx: ctx}
+	tbl, err := Run("fig5", o)
+	if err != nil {
+		// Non-cell work (building the sizing spec) may also observe the
+		// cancellation; that is an acceptable shutdown path too, as long
+		// as it is the context error and not a crash.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled sweep failed with a non-cancellation error: %v", err)
+		}
+		return
+	}
+	rendered := tbl.String()
+	if !strings.Contains(rendered, "TABLE INCOMPLETE") {
+		t.Errorf("missing incomplete-table marker:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "sweep cancelled") {
+		t.Errorf("footer does not report the cancellation:\n%s", rendered)
+	}
+	found := false
+	for _, e := range bus.Events() {
+		if e.Kind == trace.KSweepCancel {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no sweep-cancel event on the trace bus")
+	}
+}
+
+// TestQuarantinedCellsNeverJournaled: a quarantined cell must not leave a
+// record in the journal — resuming must recompute it, not trust a
+// half-made result.
+func TestQuarantinedCellsNeverJournaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	dir := t.TempDir()
+	j, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Journal: j}
+	o.cellHook = func(c cellRun) {
+		if c.mil == 3 {
+			panic("injected cell bug")
+		}
+	}
+	if _, err := Run("fig5", o); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	if _, _, err := j.Replay(cache); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.entries[cellRun{model: "resnet32", batch: 128}.key()]; ok {
+		t.Error("placeholder key unexpectedly journaled")
+	}
+	for key := range cache.entries {
+		if strings.Contains(key, "|mil3|") {
+			t.Errorf("quarantined cell %s found in journal", key)
+		}
+	}
+}

@@ -7,8 +7,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"sentinel/internal/chaos"
 	"sentinel/internal/simtime"
@@ -109,6 +111,26 @@ type Options struct {
 	// clean run. Chaos cells are cached under chaos-qualified keys, so a
 	// shared cache never serves a clean result for a perturbed cell.
 	Chaos chaos.Config
+	// Ctx, when non-nil, cancels the sweep: cells that have not started
+	// are skipped, in-flight cells are abandoned, and tables render
+	// marked incomplete. sentinel-bench wires SIGINT/SIGTERM here.
+	Ctx context.Context
+	// CellTimeout, when positive, is the per-cell wall-clock deadline: a
+	// cell still running after it (a livelocked simulation) is abandoned
+	// with ErrCellTimeout and quarantined.
+	CellTimeout time.Duration
+	// Journal, when non-nil, records every completed simulation cell
+	// on disk under its cache key, so a killed sweep can resume from its
+	// completed cells (Journal.Replay into Cache) instead of restarting
+	// from zero. Quarantined cells are never journaled.
+	Journal *Journal
+	// cellHook, when non-nil, runs at the start of every freshly
+	// computed cell. It exists for tests: a hook that panics or blocks
+	// stands in for a buggy or livelocked simulation.
+	cellHook func(c cellRun)
+	// quar collects panicked/timed-out/cancelled cells so Run can report
+	// them in the table footer; created by normalized().
+	quar *quarantine
 }
 
 // DefaultOptions returns the full-fidelity settings.
@@ -122,11 +144,14 @@ func (o Options) steps() int {
 }
 
 // normalized fills derived defaults: a fresh plan cache unless caching is
-// disabled or the caller supplied a shared one.
+// disabled or the caller supplied a shared one, and a fresh quarantine
+// collector per experiment (never shared across experiments, so one
+// table's footer cannot leak into the next).
 func (o Options) normalized() Options {
 	if o.Cache == nil && !o.NoCache {
 		o.Cache = NewCache()
 	}
+	o.quar = &quarantine{}
 	return o
 }
 

@@ -1,6 +1,8 @@
 package memsys
 
 import (
+	"encoding/json"
+
 	"sentinel/internal/simtime"
 	"sentinel/internal/trace"
 )
@@ -92,6 +94,36 @@ func (tr *BWTrace) Totals() (fast, slow, migrated int64) {
 		migrated += s.Migrations
 	}
 	return fast, slow, migrated
+}
+
+// bwTraceJSON is the wire form of a BWTrace. The fields are unexported in
+// BWTrace itself, so the experiment result journal — which persists
+// completed simulation cells, bandwidth traces included — round-trips the
+// trace through this shape.
+type bwTraceJSON struct {
+	Width   simtime.Duration `json:"width"`
+	Samples []BWSample       `json:"samples,omitempty"`
+}
+
+// MarshalJSON encodes the bucket width and samples.
+func (tr *BWTrace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bwTraceJSON{Width: tr.width, Samples: tr.samples})
+}
+
+// UnmarshalJSON restores a trace serialized by MarshalJSON. A non-positive
+// width falls back to the NewBWTrace default so a decoded trace can never
+// divide by zero in bucket().
+func (tr *BWTrace) UnmarshalJSON(b []byte) error {
+	var w bwTraceJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.Width <= 0 {
+		w.Width = simtime.Millisecond
+	}
+	tr.width = w.Width
+	tr.samples = w.Samples
+	return nil
 }
 
 // MeanBW reports the mean demand bandwidth per tier in bytes/second over

@@ -122,6 +122,34 @@ func (r *RunStats) TotalTime() simtime.Duration {
 	return t
 }
 
+// CacheStats is a point-in-time accounting of a sweep's plan cache:
+// how many lookups hit a completed entry, missed (and computed), or
+// waited on a concurrent computation (singleflight), plus how many
+// entries were seeded from a result journal and how many lookups those
+// seeds served. Resume effectiveness is ResumeHits out of Seeded.
+type CacheStats struct {
+	// Hits counts lookups served by an already-completed entry.
+	Hits int64
+	// Misses counts lookups that computed a fresh entry.
+	Misses int64
+	// Waits counts lookups that blocked on another worker's in-flight
+	// computation of the same key (singleflight).
+	Waits int64
+	// Seeded counts entries pre-warmed from a result journal (-resume).
+	Seeded int64
+	// ResumeHits counts the subset of Hits served by seeded entries.
+	ResumeHits int64
+}
+
+// String renders the stats as one summary clause.
+func (s CacheStats) String() string {
+	out := fmt.Sprintf("%d hits, %d misses, %d singleflight waits", s.Hits, s.Misses, s.Waits)
+	if s.Seeded > 0 {
+		out += fmt.Sprintf("; %d journaled cells seeded, %d served", s.Seeded, s.ResumeHits)
+	}
+	return out
+}
+
 // SweepProgress tracks an experiment sweep: cells completed out of cells
 // scheduled, plus host wall-clock elapsed. It is safe for concurrent use
 // by worker-pool goroutines. With a non-nil writer it renders a live
@@ -132,6 +160,7 @@ type SweepProgress struct {
 	w           io.Writer
 	start       time.Time
 	done, total int
+	resumed     int  // cells pre-warmed from a result journal
 	dirty       bool // a live line is on screen and unterminated
 }
 
@@ -147,16 +176,33 @@ func (p *SweepProgress) AddCells(n int) {
 	p.total += n
 }
 
+// AddResumed announces n cells restored from a result journal; the live
+// line and summary surface them so resume effectiveness is visible.
+func (p *SweepProgress) AddResumed(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.resumed += n
+}
+
 // CellDone marks one cell complete and refreshes the live line.
 func (p *SweepProgress) CellDone() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.done++
 	if p.w != nil {
-		fmt.Fprintf(p.w, "\r%d/%d cells (%v)", p.done, p.total,
+		fmt.Fprintf(p.w, "\r%d/%d cells%s (%v)", p.done, p.total, p.resumedSuffix(),
 			time.Since(p.start).Round(time.Millisecond))
 		p.dirty = true
 	}
+}
+
+// resumedSuffix renders ", k resumed" when a journal seeded the sweep;
+// callers hold p.mu.
+func (p *SweepProgress) resumedSuffix() string {
+	if p.resumed == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d resumed", p.resumed)
 }
 
 // Break terminates the live line (before other output interleaves).
@@ -178,6 +224,8 @@ func (p *SweepProgress) Snapshot() (done, total int, elapsed time.Duration) {
 
 // Summary renders a final one-line accounting of the sweep.
 func (p *SweepProgress) Summary() string {
-	done, total, elapsed := p.Snapshot()
-	return fmt.Sprintf("%d/%d cells in %v", done, total, elapsed.Round(time.Millisecond))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("%d/%d cells%s in %v", p.done, p.total, p.resumedSuffix(),
+		time.Since(p.start).Round(time.Millisecond))
 }

@@ -179,6 +179,15 @@ func WriteChrome(w io.Writer, events []Event) error {
 		case KCapShrink:
 			instant(e, tidAllocator, "capacity-shrink",
 				map[string]any{"bytes": e.Bytes, "step": e.Step})
+		case KCellPanic:
+			instant(e, tidCompute, "cell-panic: "+e.Name,
+				map[string]any{"cell": e.Name})
+		case KCellTimeout:
+			instant(e, tidCompute, "cell-timeout: "+e.Name,
+				map[string]any{"cell": e.Name, "deadline_us": micros(e.Dur)})
+		case KSweepCancel:
+			instant(e, tidCompute, "sweep-cancel",
+				map[string]any{"cell": e.Name})
 		case KAccess:
 			name := "traffic-fast"
 			if e.Tier == TierSlow {

@@ -88,6 +88,17 @@ const (
 	// KCapShrink records the fast tier losing capacity mid-run, e.g.
 	// injected co-tenant pressure (internal/exec).
 	KCapShrink Kind = "capacity-shrink"
+	// KCellPanic records the experiment runner quarantining a sweep cell
+	// whose simulation panicked; the cell's result is excluded and the
+	// rest of the sweep continues (internal/experiment).
+	KCellPanic Kind = "cell-panic"
+	// KCellTimeout records the experiment runner quarantining a sweep
+	// cell that exceeded its wall-clock deadline (internal/experiment).
+	KCellTimeout Kind = "cell-timeout"
+	// KSweepCancel records the sweep being cancelled (SIGINT/SIGTERM or
+	// a cancelled context); remaining cells are skipped and tables are
+	// emitted marked incomplete (internal/experiment).
+	KSweepCancel Kind = "sweep-cancel"
 )
 
 // Kinds returns every event kind, in schema order. docs/TRACING.md must
@@ -97,7 +108,7 @@ func Kinds() []Kind {
 		KStep, KLayer, KAlloc, KFree, KStall, KDemand, KOOMRetry,
 		KAccess, KMigrateIn, KMigrateOut, KFault, KArenaGrow,
 		KArenaReclaim, KPlace, KMigrateRetry, KDegrade, KPlanDiverged,
-		KCapShrink,
+		KCapShrink, KCellPanic, KCellTimeout, KSweepCancel,
 	}
 }
 
@@ -243,6 +254,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12v step=%d layer=%d plan-diverged %s", t, e.Step, e.Layer, name)
 	case KCapShrink:
 		return fmt.Sprintf("%12v step=%d layer=%d capacity-shrink -%s", t, e.Step, e.Layer, simtime.Bytes(e.Bytes))
+	case KCellPanic:
+		return fmt.Sprintf("%12v cell-panic %s (cell quarantined)", t, name)
+	case KCellTimeout:
+		return fmt.Sprintf("%12v cell-timeout %s after %v (cell quarantined)", t, name, e.Dur)
+	case KSweepCancel:
+		return fmt.Sprintf("%12v sweep-cancel %s (remaining cells skipped)", t, name)
 	default: // alloc, free, and any future instant kind
 		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, name, simtime.Bytes(e.Bytes))
 	}
