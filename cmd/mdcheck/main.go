@@ -1,15 +1,28 @@
-// mdcheck is the CI markdown link checker: it scans the given markdown
-// files for inline links and images, and fails when a relative link
-// points at a path that does not exist. External links (http, https,
-// mailto) and pure in-page anchors are skipped — CI must not depend on
-// the network. Anchored file links (doc.md#section) are checked for the
-// file part only.
+// mdcheck is the CI markdown checker. It scans the given markdown
+// files for two kinds of rot:
+//
+//   - inline links and images whose relative targets do not exist
+//     (external http/https/mailto links and pure in-page anchors are
+//     skipped — CI must not depend on the network; anchored file links
+//     like doc.md#section are checked for the file part only), and
+//   - backticked references to Go packages and files (`internal/...`,
+//     `cmd/...`, `examples/...`, `docs/...`) that no longer exist in
+//     the tree, so prose does not keep naming packages that were
+//     renamed or deleted. A trailing `/...` wildcard checks the prefix
+//     directory; a trailing :line suffix is ignored; the package.Symbol
+//     citation form (`internal/memsys.BWTrace`) checks the package
+//     directory.
+//
+// Link targets resolve relative to the referencing file; Go paths
+// resolve relative to the repo root (the working directory), which is
+// how docs cite them.
 //
 // Usage: go run ./cmd/mdcheck README.md docs/*.md
 package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -22,43 +35,101 @@ import (
 // which also drops optional titles: [t](path "title").
 var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
 
+// codeSpanRE matches inline code spans; goPathRE then decides whether a
+// span's content is a repo path claim worth checking.
+var codeSpanRE = regexp.MustCompile("`([^`]+)`")
+
+// goPathRE matches spans that name a Go package or file in this repo:
+// an optional ./ or module-path prefix, then a tracked top-level area,
+// then path segments, with an optional /... wildcard or :line suffix.
+// Spans with spaces, flags, or glob characters do not match.
+var goPathRE = regexp.MustCompile(`^(?:\./)?(?:sentinel/)?((?:internal|cmd|examples|docs)(?:/[A-Za-z0-9_.\-]+)*?)(/\.\.\.)?(:[0-9]+)?$`)
+
+// symbolRE recognizes the package.Symbol citation form: the last path
+// segment is pkgname.Exported, where the exported identifier starts
+// with an uppercase letter (so file names like runtime.go don't match).
+var symbolRE = regexp.MustCompile(`^(.*[^./])\.[A-Z][A-Za-z0-9_]*$`)
+
 func main() {
 	if len(os.Args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md [FILE.md ...]")
 		os.Exit(2)
 	}
+	if checkFiles(".", os.Args[1:], os.Stderr) > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkFiles scans the markdown files, resolving Go-path references
+// against root, and returns the number of broken references found
+// (reporting each to w).
+func checkFiles(root string, files []string, w io.Writer) int {
 	broken := 0
-	for _, file := range os.Args[1:] {
+	for _, file := range files {
 		data, err := os.ReadFile(file)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			fmt.Fprintf(w, "mdcheck: %v\n", err)
 			broken++
 			continue
 		}
 		for i, line := range strings.Split(string(data), "\n") {
-			for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
-				target := m[1]
-				if skip(target) {
-					continue
-				}
-				if frag := strings.IndexByte(target, '#'); frag >= 0 {
-					target = target[:frag]
-					if target == "" {
-						continue // in-page anchor
-					}
-				}
-				resolved := filepath.Join(filepath.Dir(file), target)
-				if _, err := os.Stat(resolved); err != nil {
-					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s)\n", file, i+1, m[1], resolved)
-					broken++
-				}
-			}
+			broken += checkLinks(file, i+1, line, w)
+			broken += checkGoPaths(root, file, i+1, line, w)
 		}
 	}
 	if broken > 0 {
-		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", broken)
-		os.Exit(1)
+		fmt.Fprintf(w, "mdcheck: %d broken reference(s)\n", broken)
 	}
+	return broken
+}
+
+// checkLinks validates the relative link targets on one line.
+func checkLinks(file string, lineno int, line string, w io.Writer) int {
+	broken := 0
+	for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+		target := m[1]
+		if skip(target) {
+			continue
+		}
+		if frag := strings.IndexByte(target, '#'); frag >= 0 {
+			target = target[:frag]
+			if target == "" {
+				continue // in-page anchor
+			}
+		}
+		resolved := filepath.Join(filepath.Dir(file), target)
+		if _, err := os.Stat(resolved); err != nil {
+			fmt.Fprintf(w, "%s:%d: broken link %q (%s)\n", file, lineno, m[1], resolved)
+			broken++
+		}
+	}
+	return broken
+}
+
+// checkGoPaths validates the backticked repo-path references on one
+// line.
+func checkGoPaths(root, file string, lineno int, line string, w io.Writer) int {
+	broken := 0
+	for _, m := range codeSpanRE.FindAllStringSubmatch(line, -1) {
+		gp := goPathRE.FindStringSubmatch(m[1])
+		if gp == nil {
+			continue
+		}
+		path := gp[1]
+		// package.Symbol citations (`internal/memsys.BWTrace`) name an
+		// exported identifier inside a package: strip the symbol and
+		// check the package directory.
+		if sym := symbolRE.FindStringSubmatch(path); sym != nil {
+			path = sym[1]
+		}
+		resolved := filepath.Join(root, filepath.FromSlash(path))
+		if _, err := os.Stat(resolved); err != nil {
+			fmt.Fprintf(w, "%s:%d: stale Go path reference %q (%s does not exist)\n",
+				file, lineno, m[1], resolved)
+			broken++
+		}
+	}
+	return broken
 }
 
 func skip(target string) bool {

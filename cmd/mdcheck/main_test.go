@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// layout builds a throwaway repo tree with one markdown file and
+// returns (root, mdPath).
+func layout(t *testing.T, md string) (string, string) {
+	t.Helper()
+	root := t.TempDir()
+	for _, dir := range []string{"internal/exec", "cmd/sentinel-train", "docs"} {
+		if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []string{"internal/exec/runtime.go", "docs/TRACING.md"} {
+		if err := os.WriteFile(filepath.Join(root, f), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mdPath := filepath.Join(root, "README.md")
+	if err := os.WriteFile(mdPath, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root, mdPath
+}
+
+func TestGoPathReferences(t *testing.T) {
+	md := strings.Join([]string{
+		"Existing package `internal/exec` is fine.",
+		"Existing file `internal/exec/runtime.go` is fine.",
+		"Line anchors `internal/exec/runtime.go:42` are fine.",
+		"Wildcards `internal/exec/...` check the prefix.",
+		"Module-qualified `sentinel/internal/exec` is fine.",
+		"Symbol citations `internal/exec.Runtime` check the package dir.",
+		"Stale symbol citations `internal/vanished.Thing` are stale.",
+		"Commands with flags `go run ./cmd/sentinel-train -steps 3` are not path claims.",
+		"Plain words `determinism` are not path claims.",
+		"Deleted package `internal/vanished` is stale.",
+		"Deleted file `internal/exec/gone.go` is stale.",
+		"Deleted wildcard `internal/vanished/...` is stale.",
+	}, "\n")
+	root, mdPath := layout(t, md)
+
+	var out strings.Builder
+	broken := checkFiles(root, []string{mdPath}, &out)
+	if broken != 4 {
+		t.Errorf("want 4 stale references, got %d:\n%s", broken, out.String())
+	}
+	for _, want := range []string{"internal/vanished", "internal/exec/gone.go", "internal/vanished/...", "internal/vanished.Thing"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output does not flag %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestLinksStillChecked(t *testing.T) {
+	md := strings.Join([]string{
+		"[good](docs/TRACING.md)",
+		"[anchored](docs/TRACING.md#schema)",
+		"[in-page](#section)",
+		"[external](https://example.com/nope)",
+		"[broken](docs/MISSING.md)",
+	}, "\n")
+	root, mdPath := layout(t, md)
+
+	var out strings.Builder
+	broken := checkFiles(root, []string{mdPath}, &out)
+	if broken != 1 {
+		t.Errorf("want 1 broken link, got %d:\n%s", broken, out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING.md") {
+		t.Errorf("output does not name the broken link:\n%s", out.String())
+	}
+}
+
+func TestMissingFileIsAFailure(t *testing.T) {
+	var out strings.Builder
+	if broken := checkFiles(t.TempDir(), []string{"no-such.md"}, &out); broken != 1 {
+		t.Errorf("want missing input counted as broken, got %d", broken)
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+// TestUnknownChecksFlagErrors: -checks with an unknown name must exit 2
+// (usage error) before any analysis runs, never silently analyze
+// nothing.
+func TestUnknownChecksFlagErrors(t *testing.T) {
+	if got := run([]string{"-checks", "bogus"}); got != 2 {
+		t.Errorf("run(-checks bogus) = %d, want 2", got)
+	}
+}
+
+// TestListExitsClean: -list is informational.
+func TestListExitsClean(t *testing.T) {
+	if got := run([]string{"-list"}); got != 0 {
+		t.Errorf("run(-list) = %d, want 0", got)
+	}
+}

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"sentinel/internal/alloc"
 	"sentinel/internal/exec"
 	"sentinel/internal/graph"
@@ -87,13 +89,15 @@ func (p *UM) MakeRoom(rt *exec.Runtime, need int64) int64 {
 		cands = append(cands, cand{id: id, last: last})
 	}
 	// Oldest first; ties break by tensor id so eviction order never
-	// depends on map iteration order (cands comes from a map).
-	for i := 1; i < len(cands); i++ {
-		for j := i; j > 0 && (cands[j].last < cands[j-1].last ||
-			(cands[j].last == cands[j-1].last && cands[j].id < cands[j-1].id)); j-- {
-			cands[j], cands[j-1] = cands[j-1], cands[j]
+	// depends on map iteration order (cands comes from a map). The
+	// comparator is a total order (ids are unique), so the sorted order
+	// is unique regardless of input order.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].last != cands[j].last {
+			return cands[i].last < cands[j].last
 		}
-	}
+		return cands[i].id < cands[j].id
+	})
 	var freed int64
 	for _, c := range cands {
 		if freed >= need {

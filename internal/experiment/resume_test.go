@@ -20,6 +20,22 @@ import (
 // and cancelled cells must quarantine with typed errors while the rest of
 // the sweep completes and renders.
 
+// watchKind subscribes to the bus and counts events of one kind as they
+// are emitted. Quarantine events are rare and emitted early; observing
+// the stream instead of scanning the ring keeps these tests immune to
+// ring eviction, which depends on worker scheduling. Subscribers run
+// under the bus lock, and the count is read only after Run returns, so
+// a plain counter is safe.
+func watchKind(bus *trace.Bus, kind trace.Kind) *int {
+	n := new(int)
+	bus.Subscribe(func(e trace.Event) {
+		if e.Kind == kind {
+			*n++
+		}
+	})
+	return n
+}
+
 // TestResumeByteIdenticalTables is the kill-and-resume determinism bar,
 // in-process: sweep once with a journal, then sweep again from a cold
 // cache seeded only by the journal — the second sweep must recompute
@@ -181,6 +197,7 @@ func TestQuarantinePanickedCell(t *testing.T) {
 		t.Skip("integration sweep")
 	}
 	bus := trace.NewBus(0)
+	panics := watchKind(bus, trace.KCellPanic)
 	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus}
 	o.cellHook = func(c cellRun) {
 		if c.mil == 3 {
@@ -209,13 +226,7 @@ func TestQuarantinePanickedCell(t *testing.T) {
 		t.Errorf("only %d of %d rows rendered despite one quarantined cell:\n%s", healthy, len(tbl.Rows), rendered)
 	}
 	// The quarantine is visible on the trace bus as a typed event.
-	found := false
-	for _, e := range bus.Events() {
-		if e.Kind == trace.KCellPanic {
-			found = true
-		}
-	}
-	if !found {
+	if *panics == 0 {
 		t.Error("no cell-panic event on the trace bus")
 	}
 }
@@ -229,6 +240,7 @@ func TestQuarantineHungCell(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release) // unblock the abandoned goroutine at test end
 	bus := trace.NewBus(0)
+	timeouts := watchKind(bus, trace.KCellTimeout)
 	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus,
 		CellTimeout: 150 * time.Millisecond}
 	o.cellHook = func(c cellRun) {
@@ -247,13 +259,7 @@ func TestQuarantineHungCell(t *testing.T) {
 	if !strings.Contains(rendered, "cell timed out") {
 		t.Errorf("footer does not name the timeout:\n%s", rendered)
 	}
-	found := false
-	for _, e := range bus.Events() {
-		if e.Kind == trace.KCellTimeout {
-			found = true
-		}
-	}
-	if !found {
+	if *timeouts == 0 {
 		t.Error("no cell-timeout event on the trace bus")
 	}
 }
@@ -268,6 +274,7 @@ func TestSweepCancelRendersPartialTables(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // cancelled before the sweep starts: everything is skipped
 	bus := trace.NewBus(0)
+	cancels := watchKind(bus, trace.KSweepCancel)
 	o := Options{Steps: 3, Quick: true, Workers: 4, Cache: NewCache(), Trace: bus, Ctx: ctx}
 	tbl, err := Run("fig5", o)
 	if err != nil {
@@ -286,13 +293,7 @@ func TestSweepCancelRendersPartialTables(t *testing.T) {
 	if !strings.Contains(rendered, "sweep cancelled") {
 		t.Errorf("footer does not report the cancellation:\n%s", rendered)
 	}
-	found := false
-	for _, e := range bus.Events() {
-		if e.Kind == trace.KSweepCancel {
-			found = true
-		}
-	}
-	if !found {
+	if *cancels == 0 {
 		t.Error("no sweep-cancel event on the trace bus")
 	}
 }

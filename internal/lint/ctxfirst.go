@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirstAnalyzer enforces the context conventions: an exported
+// function or method that takes a context.Context takes it as its first
+// parameter, and no struct stores a context in a field — except
+// experiment.Options, the one sanctioned carrier that threads sweep
+// cancellation from the CLI signal handler into the worker pool.
+// Stored contexts outlive their cancellation scope and make call graphs
+// lie about what is cancellable; parameter position is the ecosystem
+// convention that keeps call sites greppable.
+var CtxFirstAnalyzer = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context is the first parameter of exported funcs and never a struct field (except experiment.Options)",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if !n.Name.IsExported() || n.Type.Params == nil {
+					return true
+				}
+				idx := 0
+				for _, field := range n.Type.Params.List {
+					width := len(field.Names)
+					if width == 0 {
+						width = 1 // unnamed parameter
+					}
+					if isContextType(pass, field.Type) && idx > 0 {
+						pass.Reportf(field.Pos(),
+							"exported %s takes context.Context as parameter %d; context goes first", n.Name.Name, idx+1)
+					}
+					idx += width
+				}
+			case *ast.TypeSpec:
+				st, ok := n.Type.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				if pass.Pkg.Name() == "experiment" && n.Name.Name == "Options" {
+					return true // the sanctioned cancellation carrier
+				}
+				for _, field := range st.Fields.List {
+					if isContextType(pass, field.Type) {
+						pass.Reportf(field.Pos(),
+							"struct %s stores a context.Context; pass contexts as parameters instead (only experiment.Options may carry one)", n.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether the AST type expression denotes
+// context.Context.
+func isContextType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

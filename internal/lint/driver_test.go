@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module and returns a
+// loader for it.
+func writeModule(t *testing.T, src string) *Loader {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "pkg", "pkg.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir, "tmpmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader
+}
+
+func runOn(t *testing.T, loader *Loader, checks ...string) []Diagnostic {
+	t.Helper()
+	analyzers, err := ByName(checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(loader, []string{"pkg"}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestSuppressionParsing: well-formed //lint:allow lines suppress on
+// their own line and the line below; malformed ones are diagnostics in
+// their own right.
+func TestSuppressionParsing(t *testing.T) {
+	loader := writeModule(t, `package pkg
+
+import "time"
+
+func a() time.Time {
+	//lint:allow determinism host-side timestamp for log lines
+	return time.Now()
+}
+
+func b() time.Time {
+	return time.Now() //lint:allow determinism trailing annotation form
+}
+
+func c() time.Time {
+	//lint:allow
+	return time.Now()
+}
+
+func d() time.Time {
+	//lint:allow determinism
+	return time.Now()
+}
+
+func e() time.Time {
+	//lint:allow nosuchcheck because reasons
+	return time.Now()
+}
+`)
+	diags := runOn(t, loader, "determinism")
+
+	var directive, determinism []Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case DirectiveCheck:
+			directive = append(directive, d)
+		case "determinism":
+			determinism = append(determinism, d)
+		default:
+			t.Errorf("unexpected check %q: %s", d.Check, d)
+		}
+	}
+
+	// a and b are suppressed; c, d, e are not (their directives are
+	// malformed or name an unknown check), so three findings survive.
+	if len(determinism) != 3 {
+		t.Errorf("want 3 surviving determinism findings (suppressions in c/d/e are broken), got %d:\n%v", len(determinism), determinism)
+	}
+	wantDirectives := []string{
+		"missing check name and reason",
+		"missing reason",
+		`unknown check "nosuchcheck"`,
+	}
+	if len(directive) != len(wantDirectives) {
+		t.Fatalf("want %d directive diagnostics, got %d:\n%v", len(wantDirectives), len(directive), directive)
+	}
+	for i, want := range wantDirectives {
+		if !strings.Contains(directive[i].Message, want) {
+			t.Errorf("directive diagnostic %d = %q, want it to mention %q", i, directive[i].Message, want)
+		}
+	}
+}
+
+// TestSuppressionDoesNotLeak: an allow for one check does not suppress
+// another check's finding on the same line.
+func TestSuppressionDoesNotLeak(t *testing.T) {
+	loader := writeModule(t, `package pkg
+
+import "time"
+
+func a() time.Time {
+	//lint:allow maporder wrong check on purpose
+	return time.Now()
+}
+`)
+	diags := runOn(t, loader, "determinism")
+	if len(diags) != 1 || diags[0].Check != "determinism" {
+		t.Fatalf("want the determinism finding to survive a maporder allow, got %v", diags)
+	}
+}
+
+// TestUnknownCheckName: the -checks path must reject unknown names
+// loudly instead of silently running nothing.
+func TestUnknownCheckName(t *testing.T) {
+	_, err := ByName([]string{"determinism", "bogus"})
+	if err == nil {
+		t.Fatal("ByName accepted an unknown check name")
+	}
+	if !strings.Contains(err.Error(), `unknown check "bogus"`) {
+		t.Errorf("error %q does not name the bad check", err)
+	}
+	if !strings.Contains(err.Error(), "determinism") {
+		t.Errorf("error %q does not list the known checks", err)
+	}
+}
+
+// TestJSONGolden pins the JSON output schema: findings array (never
+// null) plus count, with the per-finding field names fixed.
+func TestJSONGolden(t *testing.T) {
+	var b strings.Builder
+	diags := []Diagnostic{
+		{File: "internal/exec/runtime.go", Line: 42, Col: 7, Check: "determinism",
+			Message: "wall-clock time.Now in simulation code"},
+		{File: "internal/experiment/journal.go", Line: 9, Col: 2, Check: "maporder",
+			Message: "append inside iteration over map m"},
+	}
+	if err := WriteJSON(&b, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{
+  "findings": [
+    {
+      "file": "internal/exec/runtime.go",
+      "line": 42,
+      "col": 7,
+      "check": "determinism",
+      "message": "wall-clock time.Now in simulation code"
+    },
+    {
+      "file": "internal/experiment/journal.go",
+      "line": 9,
+      "col": 2,
+      "check": "maporder",
+      "message": "append inside iteration over map m"
+    }
+  ],
+  "count": 2
+}
+`
+	if b.String() != golden {
+		t.Errorf("JSON schema drifted:\n got: %s\nwant: %s", b.String(), golden)
+	}
+
+	// Empty runs must still produce an indexable array.
+	b.Reset()
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\n  \"findings\": [],\n  \"count\": 0\n}\n"; b.String() != want {
+		t.Errorf("empty JSON = %q, want %q", b.String(), want)
+	}
+}
+
+// TestRunEndToEnd: the driver loads, analyzes, suppresses, and sorts
+// across a real (temp) module, with paths relative to the module root.
+func TestRunEndToEnd(t *testing.T) {
+	loader := writeModule(t, `package pkg
+
+import "time"
+
+func tick() time.Time { return time.Now() }
+`)
+	diags := runOn(t, loader)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.File != "pkg/pkg.go" || d.Check != "determinism" || d.Line != 5 {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+// TestExpandPatternsSkipsTestdata: fixture trees must not be vetted as
+// production code.
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".", "lintmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.ExpandPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into %s", d)
+		}
+	}
+}

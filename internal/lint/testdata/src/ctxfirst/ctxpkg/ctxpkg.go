@@ -1,0 +1,32 @@
+// Package ctxpkg is the ctxfirst fixture: exported functions taking a
+// context.Context take it first, and structs never store one.
+package ctxpkg
+
+import "context"
+
+// Good takes the context first: negative.
+func Good(ctx context.Context, n int) int { return n }
+
+// Bad buries the context: positive.
+func Bad(n int, ctx context.Context) int { return n } // want `exported Bad takes context\.Context as parameter 2; context goes first`
+
+// internal is unexported; the convention is enforced on the exported
+// surface only.
+func internal(n int, ctx context.Context) int { return n }
+
+// holder stores a context: positive.
+type holder struct {
+	ctx context.Context // want `struct holder stores a context\.Context`
+	n   int
+}
+
+// carrier passes contexts properly: negative.
+type carrier struct {
+	n int
+}
+
+// Run is negative: context first among several parameters.
+func Run(ctx context.Context, c carrier, opts ...int) error {
+	_ = ctx
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package experiment is the ctxfirst exemption fixture: the real
+// experiment.Options is the one sanctioned context carrier (it threads
+// sweep cancellation from the CLI signal handler into the worker
+// pool); every other struct in the package is still checked.
+package experiment
+
+import "context"
+
+// Options mirrors experiment.Options: negative, the sanctioned
+// carrier.
+type Options struct {
+	Ctx   context.Context
+	Steps int
+}
+
+// worker is positive even inside the experiment package: only Options
+// is exempt.
+type worker struct {
+	ctx context.Context // want `struct worker stores a context\.Context`
+}

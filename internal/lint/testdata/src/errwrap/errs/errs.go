@@ -1,0 +1,72 @@
+// Package errs is the errwrap fixture: typed sentinel errors are
+// wrapped with %w and matched via errors.Is/As — never compared with
+// == / != or string-matched.
+package errs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrOOM is a sentinel, like exec.ErrOOM.
+var ErrOOM = errors.New("out of fast memory")
+
+// errInternal is unexported and not a sentinel; comparisons against it
+// are out of scope.
+var errInternal = errors.New("internal")
+
+func compare(err error) bool {
+	if err == ErrOOM { // want `ErrOOM compared with ==`
+		return true
+	}
+	if err != ErrOOM { // want `ErrOOM compared with !=`
+		return false
+	}
+	return false
+}
+
+func negatives(err error) bool {
+	if errors.Is(err, ErrOOM) { // negative: the sanctioned match
+		return true
+	}
+	if err == nil { // negative: nil checks are fine
+		return true
+	}
+	if err == errInternal { // negative: not a sentinel
+		return true
+	}
+	return false
+}
+
+func classify(err error) string {
+	switch err {
+	case ErrOOM: // want `switch on an error with case ErrOOM`
+		return "oom"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("allocating: %v: %v", err, ErrOOM) // want `fmt\.Errorf formats sentinel ErrOOM without %w`
+	}
+	return fmt.Errorf("allocating: %w", ErrOOM) // negative: wrapped
+}
+
+func stringMatch(err error) bool {
+	if err.Error() == "out of fast memory" { // want `err\.Error\(\) compared against a string`
+		return true
+	}
+	if strings.Contains(err.Error(), "memory") { // want `strings\.Contains on err\.Error\(\)`
+		return true
+	}
+	return strings.Contains("haystack", "needle") // negative: not an error
+}
+
+func suppressed(err error) bool {
+	//lint:allow errwrap comparing a just-created local error identity in a test helper
+	return err == ErrOOM
+}

@@ -1,0 +1,108 @@
+// Package maps is the maporder fixture: order-sensitive work inside
+// map iteration is flagged unless the result is sorted before use. The
+// journalKey case is the self-test stand-in for the acceptance
+// scenario of an unsorted map-range feeding a journal key.
+package maps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type bus struct{}
+
+func (bus) Emit(v int) {}
+
+// keysUnsorted is positive: the slice's order is the map's iteration
+// order and nothing sorts it.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append inside iteration over map m`
+	}
+	return out
+}
+
+// keysSorted is negative: the collected keys are sorted before use —
+// the sanctioned pattern.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// printAll is positive: output lands in map order.
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside iteration over map m`
+	}
+}
+
+// journalKey is positive: the cache/journal key's bytes depend on map
+// iteration order — the exact bug class the resume guarantee forbids.
+func journalKey(m map[string]int64) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d;", k, v) // want `fmt\.Fprintf inside iteration over map m`
+	}
+	return b.String()
+}
+
+// cacheKey is positive: writing to a builder (an io.Writer) in map
+// order, the way hashed keys are built.
+func cacheKey(m map[string]string) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString on an io.Writer inside iteration over map m`
+	}
+	return b.String()
+}
+
+// concatKey is positive: string concatenation builds the key in map
+// order.
+func concatKey(m map[int]string) string {
+	key := ""
+	for _, v := range m {
+		key += v // want `string concatenation inside iteration over map m`
+	}
+	return key
+}
+
+// emitAll is positive: trace event order would differ run to run.
+func emitAll(b bus, m map[int]int) {
+	for _, v := range m {
+		b.Emit(v) // want `trace emission inside iteration over map m`
+	}
+}
+
+// regroup is negative: appending to an element indexed by the range key
+// itself is order-safe — each key's slice only grows during its own
+// iteration.
+func regroup(m map[string]int, groups map[string][]int) {
+	for k, v := range m {
+		groups[k] = append(groups[k], v)
+	}
+}
+
+// countOnly is negative: aggregation that is order-insensitive.
+func countOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// suppressed is negative: an allow annotation with a reason.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow maporder order is re-established by the caller's stable sort
+		out = append(out, k)
+	}
+	return out
+}

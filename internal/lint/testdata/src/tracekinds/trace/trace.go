@@ -1,0 +1,71 @@
+// Package trace is the tracekinds fixture: a miniature of the real
+// trace package. Every Kind constant must be registered in Kinds(),
+// handled by explicit cases in Event.String and WriteChrome, and
+// documented (backticked) in docs/TRACING.md next to this fixture's
+// root. Each bad constant below violates exactly one surface.
+package trace
+
+import "fmt"
+
+// Kind classifies trace events.
+type Kind string
+
+const (
+	// KGood satisfies every surface: the all-negative fixture.
+	KGood Kind = "good"
+	// KUnregistered is handled and documented but missing from Kinds().
+	KUnregistered Kind = "unregistered" // want `trace kind KUnregistered \("unregistered"\) is not listed in Kinds\(\)`
+	// KUnstrung is registered and documented but falls through
+	// Event.String's default.
+	KUnstrung Kind = "unstrung" // want `trace kind KUnstrung is not handled by an explicit case in Event\.String`
+	// KUncharted is registered and rendered but invisible to the Chrome
+	// exporter.
+	KUncharted Kind = "uncharted" // want `trace kind KUncharted is not handled by an explicit case in WriteChrome`
+	// KUndocumented is wired everywhere but absent from docs/TRACING.md.
+	KUndocumented Kind = "undocumented" // want `trace kind KUndocumented \("undocumented"\) is not documented in docs/TRACING\.md`
+)
+
+// Kinds returns the schema registry.
+func Kinds() []Kind {
+	return []Kind{KGood, KUnstrung, KUncharted, KUndocumented}
+}
+
+// Export format names.
+const FormatText = "text"
+
+// Formats lists the export formats.
+func Formats() []string {
+	return []string{
+		FormatText,
+		"weird", // want `export format "weird" is not documented in docs/TRACING\.md`
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind Kind
+}
+
+// String renders the event.
+func (e Event) String() string {
+	switch e.Kind {
+	case KGood, KUnregistered, KUncharted:
+		return string(e.Kind)
+	case KUndocumented:
+		return "undocumented!"
+	default:
+		return fmt.Sprintf("?%s", string(e.Kind))
+	}
+}
+
+// WriteChrome exports events.
+func WriteChrome(events []Event) int {
+	n := 0
+	for _, e := range events {
+		switch e.Kind {
+		case KGood, KUnregistered, KUnstrung, KUndocumented:
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+// Package units is the unitsafety fixture: values whose names carry a
+// unit suffix (Bytes, Pages, MB, GB) must not flow into another unit
+// family without an explicit conversion.
+package units
+
+const pageSize = 4096
+
+// pagesToBytes is the explicit-conversion idiom the check points at.
+func pagesToBytes(nPages int64) int64 { return nPages * pageSize }
+
+func reserve(sizeBytes int64) {}
+
+type spec struct {
+	FastBytes int64
+	SlowPages int64
+	CapMB     int64
+}
+
+func assignments() {
+	var fastBytes int64 = 1 << 30
+	var numPages int64 = 10
+
+	totalBytes := numPages // want `numPages \(pages\) assigned to totalBytes \(bytes\)`
+	_ = totalBytes
+
+	var capMB int64
+	capMB = fastBytes // want `fastBytes \(bytes\) assigned to capMB \(mb\)`
+	_ = capMB
+
+	var quotaGB = numPages // want `numPages \(pages\) assigned to quotaGB \(gb\)`
+	_ = quotaGB
+
+	// Negative: same family flows freely.
+	sizeBytes := fastBytes
+	_ = sizeBytes
+
+	// Negative: a conversion call is the sanctioned crossing.
+	convBytes := pagesToBytes(numPages)
+	_ = convBytes
+
+	// Negative: arithmetic reads as an explicit conversion.
+	mulBytes := numPages * pageSize
+	_ = mulBytes
+}
+
+func calls() {
+	var numPages int64 = 7
+	var szBytes int64 = 4096
+
+	reserve(numPages)               // want `numPages \(pages\) passed as parameter sizeBytes \(bytes\)`
+	reserve(szBytes)                // negative: same family
+	reserve(pagesToBytes(numPages)) // negative: conversion call
+}
+
+func literals(numPages int64) spec {
+	return spec{
+		FastBytes: numPages, // want `numPages \(pages\) assigned to field FastBytes \(bytes\)`
+		SlowPages: numPages, // negative: same family
+		CapMB:     0,        // negative: literals carry no unit
+	}
+}
+
+// boundary is negative: suffix matching respects word boundaries, so an
+// acronym ending in the same letters is not a unit.
+func boundary() {
+	var numPages int64 = 1
+	var cOOMB int64
+	cOOMB = numPages
+	_ = cOOMB
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TraceKindsAnalyzer enforces the trace schema's closed-world
+// invariant: every declared trace Kind constant must be registered in
+// Kinds(), handled by an explicit case in Event.String, handled by an
+// explicit case in the Chrome exporter (WriteChrome), and documented in
+// docs/TRACING.md. The schema is the contract every exporter, test, and
+// downstream Perfetto consumer keys off; a kind that exists but is
+// invisible to one of those surfaces is a silent hole in the timeline.
+//
+// This is the compile-time-style replacement for the reflection-based
+// kind/doc cross-check test that used to live in internal/trace: the
+// invariant now lives in one place, and the trace package's test is a
+// thin wrapper over this analyzer.
+//
+// The check activates structurally — on any package declaring a string
+// type named Kind alongside a Kinds() registry function — so it applies
+// to internal/trace without being hard-wired to its import path, and
+// fixture packages can exercise it.
+var TraceKindsAnalyzer = &Analyzer{
+	Name: "tracekinds",
+	Doc:  "every trace.Kind must be in Kinds(), Event.String, the Chrome exporter, and docs/TRACING.md",
+	Run:  runTraceKinds,
+}
+
+// tracingDoc is the schema document cross-checked against the
+// constants, relative to the module root.
+const tracingDoc = "docs/TRACING.md"
+
+type kindConst struct {
+	obj   *types.Const
+	name  string
+	value string // the constant's string value, e.g. "migrate-in"
+	pos   ast.Node
+}
+
+func runTraceKinds(pass *Pass) {
+	scope := pass.Pkg.Scope()
+	tn, ok := scope.Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return
+	}
+	kindsDecl := findFunc(pass, "Kinds", "")
+	if kindsDecl == nil {
+		return // not a trace-schema package
+	}
+
+	kinds := collectKindConsts(pass, named)
+	if len(kinds) == 0 {
+		return
+	}
+
+	// 1. Registry: every constant appears in Kinds()'s return literal.
+	registered := identsResolving(pass, kindsDecl.Body)
+	for _, k := range kinds {
+		if !registered[k.obj] {
+			pass.Reportf(k.pos.Pos(),
+				"trace kind %s (%q) is not listed in Kinds(); exporters and docs checks key off that registry", k.name, k.value)
+		}
+	}
+
+	// 2. Event.String: every constant has an explicit case.
+	if decl := findFunc(pass, "String", "Event"); decl != nil {
+		handled := caseIdentsResolving(pass, decl.Body)
+		for _, k := range kinds {
+			if !handled[k.obj] {
+				pass.Reportf(k.pos.Pos(),
+					"trace kind %s is not handled by an explicit case in Event.String; falling through to default hides rendering regressions", k.name)
+			}
+		}
+	}
+
+	// 3. Chrome exporter: every constant has an explicit case.
+	if decl := findFunc(pass, "WriteChrome", ""); decl != nil {
+		handled := caseIdentsResolving(pass, decl.Body)
+		for _, k := range kinds {
+			if !handled[k.obj] {
+				pass.Reportf(k.pos.Pos(),
+					"trace kind %s is not handled by an explicit case in WriteChrome; it would be invisible in Perfetto timelines", k.name)
+			}
+		}
+	}
+
+	// 4. Documentation: every kind value appears backticked in
+	// docs/TRACING.md, as do the export format names.
+	docPath := filepath.Join(pass.ModRoot, filepath.FromSlash(tracingDoc))
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "cannot read %s to cross-check the trace schema: %v", tracingDoc, err)
+		return
+	}
+	doc := string(raw)
+	for _, k := range kinds {
+		if !strings.Contains(doc, fmt.Sprintf("`%s`", k.value)) {
+			pass.Reportf(k.pos.Pos(), "trace kind %s (%q) is not documented in %s", k.name, k.value, tracingDoc)
+		}
+	}
+	if decl := findFunc(pass, "Formats", ""); decl != nil {
+		for val, pos := range returnedStrings(pass, decl.Body) {
+			if !strings.Contains(doc, fmt.Sprintf("`%s`", val)) {
+				pass.Reportf(pos.Pos(), "export format %q is not documented in %s", val, tracingDoc)
+			}
+		}
+	}
+}
+
+// collectKindConsts gathers the package-level constants typed as the
+// Kind type, in declaration order.
+func collectKindConsts(pass *Pass, kind *types.Named) []kindConst {
+	var out []kindConst
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := pass.Info.Defs[name].(*types.Const)
+					if !ok || !types.Identical(c.Type(), kind) {
+						continue
+					}
+					out = append(out, kindConst{
+						obj:   c,
+						name:  c.Name(),
+						value: constant.StringVal(c.Val()),
+						pos:   name,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// findFunc locates a package-level function (recv == "") or a method on
+// the named receiver type.
+func findFunc(pass *Pass, name, recv string) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != name {
+				continue
+			}
+			if recv == "" {
+				if fd.Recv == nil {
+					return fd
+				}
+				continue
+			}
+			if fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recv {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// identsResolving collects the set of objects referenced by identifiers
+// anywhere under n.
+func identsResolving(pass *Pass, n ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if n == nil {
+		return out
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// caseIdentsResolving collects objects referenced by identifiers inside
+// switch case expressions under n (not case bodies: referencing a kind
+// in another kind's handler does not handle it).
+func caseIdentsResolving(pass *Pass, n ast.Node) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if n == nil {
+		return out
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			return true
+		}
+		for _, e := range cc.List {
+			ast.Inspect(e, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// returnedStrings collects string values returned (directly or via
+// constants) inside composite literals under n, mapped to the node to
+// anchor diagnostics at.
+func returnedStrings(pass *Pass, n ast.Node) map[string]ast.Node {
+	out := map[string]ast.Node{}
+	if n == nil {
+		return out
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		lit, ok := c.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if tv, ok := pass.Info.Types[elt]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+				out[constant.StringVal(tv.Value)] = elt
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// UnitSafetyAnalyzer catches unit-family confusion: a byte count
+// flowing into a page count (or a MB/GB figure) without an explicit
+// conversion. The simulator threads three unit families through every
+// layer — raw bytes (tensor sizes, migration payloads), pages (the
+// kernel's mapping granularity), and human-scale MB/GB (specs and
+// tables) — and names encode the unit by suffix (`fastBytes`,
+// `numPages`, `capMB`). Copying one family's value straight into
+// another's name is almost always a missing PageSize multiply or a
+// missing /1e6, the kind of bug that silently skews every figure.
+//
+// Flagged: direct identifier/field copies across families in
+// assignments, short variable declarations, var initializers, call
+// arguments (matched against the callee's parameter names), and
+// composite-literal fields. A conversion call on the right-hand side —
+// any call expression — marks the crossing as deliberate and is not
+// flagged; arithmetic expressions likewise read as conversions.
+var UnitSafetyAnalyzer = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "forbid direct value flow between Bytes/Pages/MB/GB-suffixed names without a conversion",
+	Run:  runUnitSafety,
+}
+
+// unitOf extracts the unit family a name encodes by suffix, or "" when
+// the name carries no unit. The suffix must sit on a word boundary:
+// `fastBytes` and `bytes` carry the bytes unit, `surbytes` does not.
+func unitOf(name string) string {
+	for _, u := range []string{"Bytes", "Pages", "MB", "GB"} {
+		rest, ok := strings.CutSuffix(name, u)
+		if !ok {
+			// The whole name in lower case counts too: `bytes`, `pages`.
+			if name == strings.ToLower(u) {
+				return strings.ToLower(u)
+			}
+			continue
+		}
+		if rest == "" {
+			return strings.ToLower(u)
+		}
+		// Word boundary: the character before the suffix must end the
+		// previous word (lower-case letter or digit), so `OOMB` or an
+		// all-caps acronym does not read as a unit.
+		r, _ := utf8.DecodeLastRuneInString(rest)
+		if unicode.IsLower(r) || unicode.IsDigit(r) {
+			return strings.ToLower(u)
+		}
+	}
+	return ""
+}
+
+// exprUnit extracts the unit of a right-hand-side expression when it is
+// a direct identifier or field selector. Anything else — calls,
+// arithmetic, literals — reads as an explicit conversion or a fresh
+// value and carries no unit.
+func exprUnit(e ast.Expr) (string, string) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOf(e.Name), e.Name
+	case *ast.SelectorExpr:
+		return unitOf(e.Sel.Name), e.Sel.Name
+	}
+	return "", ""
+}
+
+func runUnitSafety(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break // y, x := f() — multi-value, no direct copy
+					}
+					lu, lname := exprUnit(lhs)
+					checkUnitFlow(pass, n.Rhs[i], lu, lname, "assigned to")
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i >= len(n.Values) {
+						break
+					}
+					checkUnitFlow(pass, n.Values[i], unitOf(name.Name), name.Name, "assigned to")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					checkUnitFlow(pass, kv.Value, unitOf(key.Name), key.Name, "assigned to field")
+				}
+			case *ast.CallExpr:
+				checkCallUnits(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitFlow reports rhs flowing into a destination of a different
+// unit family.
+func checkUnitFlow(pass *Pass, rhs ast.Expr, dstUnit, dstName, how string) {
+	if dstUnit == "" {
+		return
+	}
+	srcUnit, srcName := exprUnit(rhs)
+	if srcUnit == "" || srcUnit == dstUnit {
+		return
+	}
+	pass.Reportf(rhs.Pos(),
+		"%s (%s) %s %s (%s) without a conversion; convert explicitly (e.g. a pagesToBytes/bytesToPages helper or *PageSize)",
+		srcName, srcUnit, how, dstName, dstUnit)
+}
+
+// checkCallUnits matches unit-suffixed arguments against the callee's
+// parameter names.
+func checkCallUnits(pass *Pass, call *ast.CallExpr) {
+	sig := callSignature(pass.Info, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		param := params.At(pi)
+		pu := unitOf(param.Name())
+		if pu == "" {
+			continue
+		}
+		au, aname := exprUnit(arg)
+		if au == "" || au == pu {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"%s (%s) passed as parameter %s (%s) without a conversion; convert explicitly",
+			aname, au, param.Name(), pu)
+	}
+}
+
+// callSignature resolves the called function's signature, when the call
+// is a plain (non-builtin, non-conversion) call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}

@@ -260,7 +260,9 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12v cell-timeout %s after %v (cell quarantined)", t, name, e.Dur)
 	case KSweepCancel:
 		return fmt.Sprintf("%12v sweep-cancel %s (remaining cells skipped)", t, name)
-	default: // alloc, free, and any future instant kind
+	case KAlloc, KFree:
+		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, name, simtime.Bytes(e.Bytes))
+	default: // any future instant kind; sentinel-vet's tracekinds check demands an explicit case
 		return fmt.Sprintf("%12v step=%d layer=%d %-11s %s (%s)", t, e.Step, e.Layer, e.Kind, name, simtime.Bytes(e.Bytes))
 	}
 }
