@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFile() *File {
+	f := &File{
+		Schema: Schema, GoVersion: "go1.22.0", GOOS: "linux", GOARCH: "amd64",
+		CPU: "test-cpu", NumCPU: 8, Benchtime: "1s",
+	}
+	for _, e := range suite {
+		for _, b := range e.benches {
+			f.Benchmarks = append(f.Benchmarks, Result{
+				Name: b, Pkg: e.pkg, Iters: 100, NsOp: 100, BOp: 64, AllocsOp: 2,
+			})
+		}
+	}
+	sortBenchmarks(f)
+	return f
+}
+
+func sortBenchmarks(f *File) {
+	for i := range f.Benchmarks {
+		for j := i + 1; j < len(f.Benchmarks); j++ {
+			a, b := f.Benchmarks[i], f.Benchmarks[j]
+			if b.Pkg < a.Pkg || (b.Pkg == a.Pkg && b.Name < a.Name) {
+				f.Benchmarks[i], f.Benchmarks[j] = b, a
+			}
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	old, cur := sampleFile(), sampleFile()
+	// Improvements and small jitter must pass.
+	for i := range cur.Benchmarks {
+		cur.Benchmarks[i].NsOp *= 0.5
+	}
+	if regs := Compare(old, cur, DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+// TestCompareRegressedBaseline is the gate's contract: fed a run that is
+// artificially slower than the baseline, Compare must flag it (and main
+// exits non-zero on any flagged regression).
+func TestCompareRegressedBaseline(t *testing.T) {
+	old, cur := sampleFile(), sampleFile()
+	cur.Benchmarks[0].NsOp = old.Benchmarks[0].NsOp * 10
+	regs := Compare(old, cur, DefaultThresholds())
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %v", len(regs), regs)
+	}
+	if regs[0].Metric != "ns/op" || regs[0].Name != cur.Benchmarks[0].Name {
+		t.Fatalf("wrong regression: %+v", regs[0])
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	old, cur := sampleFile(), sampleFile()
+	// allocs/op is deterministic: +2 allocs over a 2-alloc baseline must
+	// trip even though the ratio threshold alone would allow noise.
+	cur.Benchmarks[3].AllocsOp = old.Benchmarks[3].AllocsOp + 2
+	regs := Compare(old, cur, DefaultThresholds())
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+	// +1 alloc sits inside the absolute slack.
+	cur.Benchmarks[3].AllocsOp = old.Benchmarks[3].AllocsOp + 1
+	if regs := Compare(old, cur, DefaultThresholds()); len(regs) != 0 {
+		t.Fatalf("slack not honored: %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old, cur := sampleFile(), sampleFile()
+	cur.Benchmarks = cur.Benchmarks[1:]
+	regs := Compare(old, cur, DefaultThresholds())
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("want one missing-benchmark failure, got %v", regs)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := sampleFile()
+	if err := Validate(f); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	bad := sampleFile()
+	bad.Schema = "sentinel-bench/v0"
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema file accepted: %v", err)
+	}
+	bad = sampleFile()
+	bad.Benchmarks = bad.Benchmarks[1:]
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("incomplete suite accepted: %v", err)
+	}
+	bad = sampleFile()
+	bad.Benchmarks[0].NsOp = 0
+	if err := Validate(bad); err == nil {
+		t.Fatal("zero ns/op accepted")
+	}
+	bad = sampleFile()
+	bad.Benchmarks[0], bad.Benchmarks[1] = bad.Benchmarks[1], bad.Benchmarks[0]
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "sorted") {
+		t.Fatalf("unsorted file accepted: %v", err)
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := []byte(`goos: linux
+goarch: amd64
+pkg: sentinel/internal/kernel
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTouchProfiled-8   	 8426408	       137.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMigrate           	  721843	      1662 ns/op	      32 B/op	       1 allocs/op
+BenchmarkBig-16            	       2	 108121642 ns/op	20528248 B/op	  337115 allocs/op
+PASS
+ok  	sentinel/internal/kernel	2.5s
+`)
+	rs := ParseBenchOutput("sentinel/internal/kernel", out)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	if rs[0].Name != "BenchmarkTouchProfiled" || rs[0].Iters != 8426408 || rs[0].NsOp != 137.7 {
+		t.Fatalf("bad first result: %+v", rs[0])
+	}
+	if rs[1].Name != "BenchmarkMigrate" || rs[1].BOp != 32 || rs[1].AllocsOp != 1 {
+		t.Fatalf("bad second result: %+v", rs[1])
+	}
+	if rs[2].AllocsOp != 337115 || rs[2].Pkg != "sentinel/internal/kernel" {
+		t.Fatalf("bad third result: %+v", rs[2])
+	}
+}

@@ -18,6 +18,7 @@ package alloc
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"sentinel/internal/kernel"
 	"sentinel/internal/memsys"
@@ -97,12 +98,21 @@ type Config struct {
 
 type block struct{ addr, size int64 }
 
+// arenaKey identifies a packing domain without building a string per
+// lookup: the Reconfigure generation plus the caller-visible group.
+type arenaKey struct {
+	gen   int
+	group string
+}
+
 // arena is one packing domain: a free list over chunks of mapped pages.
 type arena struct {
-	name   string
-	free   []block // sorted by addr, coalesced
-	chunks []block // every page chunk ever mapped for this arena
-	live   int     // live allocations
+	name   string   // display name "g<gen>/<group>", built once
+	key    arenaKey // map key, kept for deletion in Reconfigure
+	free   []block  // sorted by addr, coalesced
+	chunks []block  // every page chunk ever mapped for this arena
+	bytes  int64    // sum of chunk sizes, maintained by grow/reclaim
+	live   int      // live allocations
 	pin    bool
 }
 
@@ -110,18 +120,34 @@ type arena struct {
 // so frees remain correct across Reconfigure.
 type allocation struct {
 	region      Region
-	arenaKey    string
+	ar          *arena // owning arena; nil for page-aligned allocations
+	live        bool
 	pageAligned bool
+	// cacheAr memoizes the arena this tensor id resolved to in generation
+	// cacheGen: step-cycled tensors are re-allocated every step under the
+	// same policy, and the group-string render plus map lookup dominated
+	// the packed Alloc path. Reconfigure bumps the generation, so a stale
+	// pointer can never be used after its arena is torn down.
+	cacheAr  *arena
+	cacheGen int
 }
 
 // Allocator simulates the framework allocator against the kernel.
 type Allocator struct {
-	k       *kernel.Kernel
-	now     func() simtime.Time
-	cfg     Config
-	gen     int // bumped by Reconfigure; prefixes arena keys
-	arenas  map[string]*arena
-	regions map[tensor.ID]allocation
+	k   *kernel.Kernel
+	now func() simtime.Time
+	cfg Config
+	gen int // bumped by Reconfigure; prefixes arena names
+	// arenas resolves (generation, group) to a packing domain; arenaList
+	// holds the same arenas sorted by name, so reclamation and teardown
+	// iterate deterministically without re-sorting per call.
+	arenas    map[arenaKey]*arena
+	arenaList []*arena
+	// regions is indexed by tensor ID — IDs are assigned densely by the
+	// graph builder, so a flat slice replaces a per-tensor map on the
+	// hottest allocator path.
+	regions   []allocation
+	liveCount int
 	// nextPage is the global bump pointer for fresh chunks; arenas own
 	// disjoint chunks carved from it.
 	nextPage kernel.PageID
@@ -131,6 +157,12 @@ type Allocator struct {
 	// sink emits arena growth, reclamation, and placement events into the
 	// unified trace bus when attached (SetTrace); nil discards.
 	sink *trace.Sink
+	// usage memoizes ArenaBytes' answer; usageDirty is raised by every
+	// mutation of the arena set or of a per-arena byte total (grow,
+	// reclaim, insertArena, Reconfigure), so repeated diagnostic reads
+	// between mutations are allocation-free.
+	usage      []ArenaUsage
+	usageDirty bool
 }
 
 // New returns an allocator over the kernel.
@@ -142,8 +174,7 @@ func New(k *kernel.Kernel, cfg Config) *Allocator {
 		k:        k,
 		now:      func() simtime.Time { return 0 },
 		cfg:      cfg,
-		arenas:   make(map[string]*arena),
-		regions:  make(map[tensor.ID]allocation),
+		arenas:   make(map[arenaKey]*arena),
 		nextPage: 1, // skip page 0 so addr 0 stays invalid
 	}
 }
@@ -179,9 +210,10 @@ func (a *Allocator) Reconfigure(cfg Config) {
 	if cfg.Tier == nil {
 		cfg.Tier = func(*tensor.Tensor) memsys.Tier { return memsys.Slow }
 	}
-	for _, key := range a.sortedArenaKeys() {
-		ar := a.arenas[key]
+	keep := a.arenaList[:0]
+	for _, ar := range a.arenaList {
 		if ar.live > 0 {
+			keep = append(keep, ar)
 			continue
 		}
 		for _, c := range ar.chunks {
@@ -191,10 +223,16 @@ func (a *Allocator) Reconfigure(cfg Config) {
 			}
 			a.k.Unmap(first, last, 0)
 		}
-		delete(a.arenas, key)
+		delete(a.arenas, ar.key)
 	}
+	// In-place filtering preserves the by-name sort order.
+	for i := len(keep); i < len(a.arenaList); i++ {
+		a.arenaList[i] = nil
+	}
+	a.arenaList = keep
 	a.cfg = cfg
 	a.gen++
+	a.usageDirty = true
 }
 
 // Mode returns the configured mode.
@@ -210,11 +248,22 @@ func (a *Allocator) TierFallbacks() int64 { return a.failedTier }
 // ones.
 const bfcLargeThreshold = 256 << 10
 
+// bfcLargeName pre-renders every possible large-bin group name: Alloc
+// resolves a group per call, and Sprintf on that path was 28% of all
+// simulator allocations. Size is int64, so the bin index never exceeds
+// 1+log2(2^63>>18) = 46.
+var bfcLargeName = func() (names [48]string) {
+	for i := range names {
+		names[i] = "bfc-large-" + strconv.Itoa(i)
+	}
+	return
+}()
+
 func (a *Allocator) groupOf(t *tensor.Tensor) string {
 	switch a.cfg.Mode {
 	case PageAligned:
 		// Every tensor is its own group: exclusive pages.
-		return fmt.Sprintf("t%d", t.ID)
+		return "t" + strconv.FormatInt(int64(t.ID), 10)
 	case Grouped:
 		if a.cfg.Group == nil {
 			return "default"
@@ -229,10 +278,47 @@ func (a *Allocator) groupOf(t *tensor.Tensor) string {
 			for sz := t.Size >> 18; sz > 0; sz >>= 1 {
 				bin++
 			}
-			return fmt.Sprintf("bfc-large-%d", bin)
+			return bfcLargeName[bin]
 		}
 		return "bfc-small"
 	}
+}
+
+// Reserve pre-sizes the dense region table for n tensor IDs, avoiding
+// incremental growth (and its zeroing churn) when the caller knows the
+// graph's tensor count up front.
+func (a *Allocator) Reserve(n int) {
+	if n > len(a.regions) {
+		grown := make([]allocation, n)
+		copy(grown, a.regions)
+		a.regions = grown
+	}
+}
+
+// slot returns the allocation record for id, growing the dense region
+// table as the graph builder hands out new IDs. Negative IDs (sentinels)
+// return nil.
+//
+//perf:hot
+func (a *Allocator) slot(id tensor.ID) *allocation {
+	if id < 0 {
+		return nil
+	}
+	if int(id) >= len(a.regions) {
+		grown := make([]allocation, int(id)+1+len(a.regions)/2)
+		copy(grown, a.regions)
+		a.regions = grown
+	}
+	return &a.regions[id]
+}
+
+// insertArena adds ar to the by-name ordered list reclamation iterates.
+func (a *Allocator) insertArena(ar *arena) {
+	i := sort.Search(len(a.arenaList), func(i int) bool { return a.arenaList[i].name >= ar.name })
+	a.arenaList = append(a.arenaList, nil)
+	copy(a.arenaList[i+1:], a.arenaList[i:])
+	a.arenaList[i] = ar
+	a.usageDirty = true
 }
 
 func (a *Allocator) roundSize(size int64) int64 {
@@ -275,6 +361,8 @@ func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
 	a.nextPage = last + 1
 	b := block{addr: int64(first) << kernel.PageShift, size: chunk}
 	ar.chunks = append(ar.chunks, b)
+	ar.bytes += chunk
+	a.usageDirty = true
 	a.freeInsert(ar, b)
 	a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KArenaGrow, Tensor: trace.NoTensor,
 		Name: ar.name, Bytes: chunk, Tier: traceTier(placed)})
@@ -282,8 +370,20 @@ func (a *Allocator) grow(ar *arena, need int64, tier memsys.Tier) error {
 }
 
 // freeInsert adds a block to the arena free list, coalescing neighbours.
+//
+//perf:hot
 func (a *Allocator) freeInsert(ar *arena, b block) {
-	i := sort.Search(len(ar.free), func(i int) bool { return ar.free[i].addr >= b.addr })
+	// Hand-rolled lower bound: this runs on every packed free, and the
+	// sort.Search closure indirection was measurable in sweep profiles.
+	i, hi := 0, len(ar.free)
+	for i < hi {
+		mid := int(uint(i+hi) >> 1)
+		if ar.free[mid].addr >= b.addr {
+			hi = mid
+		} else {
+			i = mid + 1
+		}
+	}
 	ar.free = append(ar.free, block{})
 	copy(ar.free[i+1:], ar.free[i:])
 	ar.free[i] = b
@@ -300,6 +400,8 @@ func (a *Allocator) freeInsert(ar *arena, b block) {
 
 // takeBestFit removes and returns a block of at least size bytes, best-fit;
 // ok is false if none fits.
+//
+//perf:hot
 func (a *Allocator) takeBestFit(ar *arena, size int64) (int64, bool) {
 	best := -1
 	for i := range ar.free {
@@ -321,8 +423,14 @@ func (a *Allocator) takeBestFit(ar *arena, size int64) (int64, bool) {
 }
 
 // Alloc places the tensor and returns its region.
+//
+//perf:hot
 func (a *Allocator) Alloc(t *tensor.Tensor) (Region, error) {
-	if _, dup := a.regions[t.ID]; dup {
+	rec := a.slot(t.ID)
+	if rec == nil {
+		return Region{}, fmt.Errorf("alloc: tensor %d (%s) has invalid id", t.ID, t.Name)
+	}
+	if rec.live {
 		return Region{}, fmt.Errorf("alloc: tensor %d (%s) already allocated", t.ID, t.Name)
 	}
 	if a.cfg.Mode == PageAligned {
@@ -341,18 +449,25 @@ func (a *Allocator) Alloc(t *tensor.Tensor) (Region, error) {
 		}
 		a.nextPage = last + 1
 		r := Region{Addr: int64(first) << kernel.PageShift, Size: t.Size}
-		a.regions[t.ID] = allocation{region: r, pageAligned: true}
+		rec.region, rec.ar, rec.live, rec.pageAligned = r, nil, true, true
+		a.liveCount++
 		return r, nil
 	}
 
-	key := fmt.Sprintf("g%d/%s", a.gen, a.groupOf(t))
-	ar := a.arenas[key]
-	if ar == nil {
-		ar = &arena{name: key}
-		if a.cfg.Pin != nil {
-			ar.pin = a.cfg.Pin(a.groupOf(t))
+	ar := rec.cacheAr
+	if ar == nil || rec.cacheGen != a.gen {
+		group := a.groupOf(t)
+		key := arenaKey{gen: a.gen, group: group}
+		ar = a.arenas[key]
+		if ar == nil {
+			ar = &arena{name: "g" + strconv.Itoa(a.gen) + "/" + group, key: key}
+			if a.cfg.Pin != nil {
+				ar.pin = a.cfg.Pin(group)
+			}
+			a.arenas[key] = ar
+			a.insertArena(ar)
 		}
-		a.arenas[key] = ar
+		rec.cacheAr, rec.cacheGen = ar, a.gen
 	}
 	size := a.roundSize(t.Size)
 	addr, ok := a.takeBestFit(ar, size)
@@ -367,30 +482,37 @@ func (a *Allocator) Alloc(t *tensor.Tensor) (Region, error) {
 	}
 	ar.live++
 	r := Region{Addr: addr, Size: t.Size}
-	a.regions[t.ID] = allocation{region: r, arenaKey: key}
-	a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KPlace, Tensor: t.ID,
-		Name: key, Bytes: t.Size})
+	rec.region, rec.ar, rec.live, rec.pageAligned = r, ar, true, false
+	a.liveCount++
+	if a.sink.Enabled() {
+		a.sink.Emit(trace.Event{At: a.now(), Kind: trace.KPlace, Tensor: t.ID,
+			Name: ar.name, Bytes: t.Size})
+	}
 	return r, nil
 }
 
 // Free releases the tensor's region back to its arena. Page-aligned
 // allocations are unmapped immediately (shrinking the footprint); packed
 // arenas retain their chunks for reuse, as BFC does.
+//
+//perf:hot
 func (a *Allocator) Free(t *tensor.Tensor) error {
-	rec, ok := a.regions[t.ID]
-	if !ok {
+	if t.ID < 0 || int(t.ID) >= len(a.regions) || !a.regions[t.ID].live {
 		return fmt.Errorf("alloc: tensor %d (%s) not allocated", t.ID, t.Name)
 	}
-	delete(a.regions, t.ID)
+	rec := a.regions[t.ID]
+	// Keep the arena memo across the free/alloc cycle; clear the rest.
+	a.regions[t.ID] = allocation{cacheAr: rec.cacheAr, cacheGen: rec.cacheGen}
+	a.liveCount--
 	if rec.pageAligned {
 		size := (t.Size + kernel.PageSize - 1) &^ (kernel.PageSize - 1)
 		first, last := kernel.PageSpan(rec.region.Addr, size)
 		a.k.Unmap(first, last, 0)
 		return nil
 	}
-	ar := a.arenas[rec.arenaKey]
+	ar := rec.ar
 	if ar == nil {
-		return fmt.Errorf("alloc: tensor %d (%s): arena %q missing", t.ID, t.Name, rec.arenaKey)
+		return fmt.Errorf("alloc: tensor %d (%s): arena missing", t.ID, t.Name)
 	}
 	ar.live--
 	// Round with the rounding rules of the arena's generation; packed
@@ -402,39 +524,41 @@ func (a *Allocator) Free(t *tensor.Tensor) error {
 
 // Region reports the live region of a tensor.
 func (a *Allocator) Region(id tensor.ID) (Region, bool) {
-	rec, ok := a.regions[id]
-	return rec.region, ok
+	if id < 0 || int(id) >= len(a.regions) || !a.regions[id].live {
+		return Region{}, false
+	}
+	return a.regions[id].region, true
 }
 
 // Live returns the number of live allocations.
-func (a *Allocator) Live() int { return len(a.regions) }
+func (a *Allocator) Live() int { return a.liveCount }
 
 // ArenaCount reports the number of packing domains in use.
 func (a *Allocator) ArenaCount() int { return len(a.arenas) }
 
-// ArenaBytes reports each arena's total mapped chunk bytes; a diagnostic
-// for occupancy analysis.
-func (a *Allocator) ArenaBytes() map[string]int64 {
-	out := make(map[string]int64, len(a.arenas))
-	for key, ar := range a.arenas {
-		var n int64
-		for _, c := range ar.chunks {
-			n += c.size
-		}
-		out[key] = n
-	}
-	return out
+// ArenaUsage is one arena's mapped footprint.
+type ArenaUsage struct {
+	Name  string
+	Bytes int64
 }
 
-// sortedArenaKeys returns the arena keys in sorted order; map iteration
-// order must not leak into allocation or reclamation behavior.
-func (a *Allocator) sortedArenaKeys() []string {
-	keys := make([]string, 0, len(a.arenas))
-	for key := range a.arenas {
-		keys = append(keys, key)
+// ArenaBytes reports each arena's total mapped chunk bytes, sorted by
+// arena name; a diagnostic for occupancy analysis. Totals are maintained
+// incrementally by grow and reclaim, and the result slice is memoized:
+// repeated calls between allocator mutations return the same backing
+// array without allocating. The returned slice is owned by the allocator
+// and is valid until the next mutation — callers must not modify it and
+// should copy if they need to hold it across allocator calls.
+func (a *Allocator) ArenaBytes() []ArenaUsage {
+	if !a.usageDirty && a.usage != nil {
+		return a.usage
 	}
-	sort.Strings(keys)
-	return keys
+	a.usage = a.usage[:0]
+	for _, ar := range a.arenaList {
+		a.usage = append(a.usage, ArenaUsage{Name: ar.name, Bytes: ar.bytes})
+	}
+	a.usageDirty = false
+	return a.usage
 }
 
 // chunkFree reports whether the chunk is entirely on the arena's free list
@@ -465,10 +589,9 @@ func (a *Allocator) Reclaim(tier memsys.Tier, need int64) int64 {
 func (a *Allocator) reclaim(tier memsys.Tier, need int64) int64 {
 	var freed int64
 	// Arena order decides which cached chunks go back first; iterate in
-	// sorted key order so reclamation (and everything downstream of the
+	// sorted name order so reclamation (and everything downstream of the
 	// resulting memory layout) is deterministic across runs.
-	for _, key := range a.sortedArenaKeys() {
-		ar := a.arenas[key]
+	for _, ar := range a.arenaList {
 		if ar.pin {
 			continue
 		}
@@ -503,6 +626,8 @@ func (a *Allocator) reclaim(tier memsys.Tier, need int64) int64 {
 			}
 			a.k.Unmap(first, last, 0)
 			ar.chunks = append(ar.chunks[:ci], ar.chunks[ci+1:]...)
+			ar.bytes -= c.size
+			a.usageDirty = true
 			freed += onTier
 		}
 	}

@@ -1,0 +1,127 @@
+package alloc
+
+import (
+	"testing"
+
+	"sentinel/internal/kernel"
+	"sentinel/internal/memsys"
+	"sentinel/internal/tensor"
+)
+
+func benchKernel(b *testing.B) *kernel.Kernel {
+	b.Helper()
+	spec := memsys.OptaneHM()
+	spec.Fast.Size = 256 << 20
+	spec.Slow.Size = 4 << 30
+	k, err := kernel.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+// benchTensors builds a mid-step working set shaped like a training layer:
+// mostly small scratch with some large activations, so both BFC bins and
+// the large-chunk path are exercised.
+func benchTensors(n int) []*tensor.Tensor {
+	ts := make([]*tensor.Tensor, n)
+	for i := range ts {
+		size := int64(4<<10 + i*512)
+		if i%7 == 0 {
+			size = int64(1<<20 + i*4096)
+		}
+		ts[i] = &tensor.Tensor{ID: tensor.ID(i), Name: "t", Size: size}
+	}
+	return ts
+}
+
+// BenchmarkAllocFreePacked measures the steady-state place/free cycle under
+// the default BFC-style allocator — the per-op hot path of every simulated
+// training step.
+func BenchmarkAllocFreePacked(b *testing.B) {
+	a := New(benchKernel(b), Config{Mode: Packed})
+	ts := benchTensors(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		if _, err := a.Alloc(t); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocFreeGrouped measures the same cycle under Sentinel's
+// co-allocation mode, where every allocation resolves a caller-assigned
+// group to an arena.
+func BenchmarkAllocFreeGrouped(b *testing.B) {
+	groups := []string{"L0-3/h1", "L4-7/h0", "short-pool", "L8-11/h2"}
+	a := New(benchKernel(b), Config{
+		Mode:  Grouped,
+		Group: func(t *tensor.Tensor) string { return groups[int(t.ID)%len(groups)] },
+	})
+	ts := benchTensors(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := ts[i%len(ts)]
+		if _, err := a.Alloc(t); err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Free(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReclaim measures the full churn cycle the engine drives under
+// fast-memory pressure: allocate a working set, free it, and reclaim the
+// dead chunks back to the kernel.
+func BenchmarkReclaim(b *testing.B) {
+	k := benchKernel(b)
+	a := New(k, Config{
+		Mode: Packed,
+		Tier: func(*tensor.Tensor) memsys.Tier { return memsys.Fast },
+	})
+	ts := benchTensors(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range ts {
+			if _, err := a.Alloc(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, t := range ts {
+			if err := a.Free(t); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a.Reclaim(memsys.Fast, 1<<30)
+	}
+}
+
+// BenchmarkArenaBytes measures the occupancy diagnostic; it is called in
+// sweep inner loops, so it must not rebuild maps per call.
+func BenchmarkArenaBytes(b *testing.B) {
+	groups := []string{"g0", "g1", "g2", "g3", "g4", "g5", "g6", "g7"}
+	a := New(benchKernel(b), Config{
+		Mode:  Grouped,
+		Group: func(t *tensor.Tensor) string { return groups[int(t.ID)%len(groups)] },
+	})
+	for _, t := range benchTensors(64) {
+		if _, err := a.Alloc(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := a.ArenaBytes(); len(got) == 0 {
+			b.Fatal("no arenas")
+		}
+	}
+}

@@ -125,11 +125,11 @@ func TestDebugArenas(t *testing.T) {
 		t.Fatal(err)
 	}
 	var total int64
-	for key, n := range rt.Alloc().ArenaBytes() {
-		if n > 1<<20 {
-			t.Logf("arena %-18s %8.1f KiB", key, float64(n)/1024)
+	for _, u := range rt.Alloc().ArenaBytes() {
+		if u.Bytes > 1<<20 {
+			t.Logf("arena %-18s %8.1f KiB", u.Name, float64(u.Bytes)/1024)
 		}
-		total += n
+		total += u.Bytes
 	}
 	t.Logf("arena total %.1f MiB; fast used %.1f MiB (pool reserve %.1f MiB)",
 		float64(total)/(1<<20), float64(rt.Kernel().Used(0))/(1<<20), float64(s.Plan().Reserve)/(1<<20))

@@ -7,8 +7,6 @@
 package core
 
 import (
-	"sort"
-
 	"sentinel/internal/memsys"
 	"sentinel/internal/profile"
 	"sentinel/internal/simtime"
@@ -43,6 +41,16 @@ type perfModel struct {
 	// needBytes[l] is the bytes of long-lived tensors first needed (per
 	// interval grouping) in layer l; see intervalNeeds.
 	longLived []tensor.ID
+	// needsBuf/keyBuf are scratch reused across intervalNeeds calls:
+	// ChooseMIL estimates every candidate interval length, and
+	// re-allocating the per-interval lists for each candidate dominated
+	// plan-construction allocations. The returned slices stay valid only
+	// until the next intervalNeeds call; needsByIndex (whose result is
+	// retained by the plan) allocates fresh.
+	needsBuf [][]tensor.ID
+	keyBuf   [][]int64
+	// intBuf is Estimate's per-interval execution-time scratch.
+	intBuf []simtime.Duration
 }
 
 func newPerfModel(p *profile.Profile, spec memsys.Spec, reserve int64, st LayerDecomp) *perfModel {
@@ -123,8 +131,16 @@ func fastMemRatio(spec memsys.Spec) float64 {
 // memory, and need-ordering keeps imminent tensors at the front.
 func (m *perfModel) intervalNeeds(mil int) [][]tensor.ID {
 	n := numIntervals(m.p.NumLayers, mil)
-	needs := make([][]tensor.ID, n)
-	firstIn := make([][]int, n)
+	for len(m.needsBuf) < n {
+		m.needsBuf = append(m.needsBuf, nil)
+		m.keyBuf = append(m.keyBuf, nil)
+	}
+	needs := m.needsBuf[:n]
+	keys := m.keyBuf[:n]
+	for k := range needs {
+		needs[k] = needs[k][:0]
+		keys[k] = keys[k][:0]
+	}
 	for _, id := range m.longLived { // sorted by access count desc
 		ts := m.p.ByID(id)
 		seen := -1
@@ -132,17 +148,18 @@ func (m *perfModel) intervalNeeds(mil int) [][]tensor.ID {
 			k := a.Layer / mil
 			if k != seen {
 				needs[k] = append(needs[k], id)
-				firstIn[k] = append(firstIn[k], a.Layer)
+				keys[k] = append(keys[k], int64(a.Layer))
 				seen = k
 			}
 		}
 	}
 	for k := range needs {
-		ids, first := needs[k], firstIn[k]
-		sort.SliceStable(ids, func(a, b int) bool { return first[a] < first[b] })
-		// Note: firstIn is not reordered with ids; it is discarded
-		// after sorting, and SliceStable keeps the access-count order
-		// within a layer.
+		// Deliberately position-keyed: the comparator reads first-layers
+		// by sort index while only ids is permuted, and the resulting
+		// (deterministic) order is pinned by the golden experiment
+		// tables. stableByPos reproduces it exactly — do not "fix" this
+		// into an element-keyed sort.
+		stableByPos(needs[k], keys[k])
 	}
 	return needs
 }
@@ -152,7 +169,7 @@ func (m *perfModel) intervalNeeds(mil int) [][]tensor.ID {
 // access (see intervalNeeds).
 func (m *perfModel) needsByIndex(idxOf []int, n int) [][]tensor.ID {
 	needs := make([][]tensor.ID, n)
-	firstIn := make([][]int, n)
+	firstIn := make([][]int64, n)
 	for _, id := range m.longLived { // sorted by access count desc
 		ts := m.p.ByID(id)
 		seen := -1
@@ -160,14 +177,13 @@ func (m *perfModel) needsByIndex(idxOf []int, n int) [][]tensor.ID {
 			k := idxOf[a.Layer]
 			if k != seen {
 				needs[k] = append(needs[k], id)
-				firstIn[k] = append(firstIn[k], a.Layer)
+				firstIn[k] = append(firstIn[k], int64(a.Layer))
 				seen = k
 			}
 		}
 	}
 	for k := range needs {
-		ids, first := needs[k], firstIn[k]
-		sort.SliceStable(ids, func(a, b int) bool { return first[a] < first[b] })
+		stableByPos(needs[k], firstIn[k]) // position-keyed; see intervalNeeds
 	}
 	return needs
 }
@@ -228,8 +244,15 @@ func (m *perfModel) Estimate(mil int) MILEstimate {
 		budget = 0
 	}
 
-	// Interval execution times on fast memory.
-	intTime := make([]simtime.Duration, n)
+	// Interval execution times on fast memory (scratch reused across the
+	// ChooseMIL exploration).
+	for len(m.intBuf) < n {
+		m.intBuf = append(m.intBuf, 0)
+	}
+	intTime := m.intBuf[:n]
+	for k := range intTime {
+		intTime[k] = 0
+	}
 	for l := 0; l < m.p.NumLayers; l++ {
 		intTime[l/mil] += m.fastLayer[l]
 	}

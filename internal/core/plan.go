@@ -43,6 +43,13 @@ type Plan struct {
 	// Hot buckets long-lived tensors by access frequency for
 	// co-allocation grouping.
 	Estimates []MILEstimate
+	// groupKeys memoizes GroupKey per tensor ID for the profile the plan
+	// was built from. The allocator resolves a group on every allocation,
+	// so re-rendering the same key string per call dominated the
+	// simulator's allocation profile; profile and plan are immutable once
+	// built, so the memo can never go stale.
+	groupKeys []string
+	keyProf   *profile.Profile
 }
 
 // reserveSlack oversizes the short-lived pool slightly so allocation-order
@@ -118,6 +125,11 @@ func buildPlan(p *profile.Profile, spec memsys.Spec, st LayerDecomp, forceMIL in
 	for i := range p.Tensors {
 		pl.Short[i] = p.Tensors[i].ShortLived()
 	}
+	pl.keyProf = p
+	pl.groupKeys = make([]string, len(p.Tensors))
+	for i := range p.Tensors {
+		pl.groupKeys[i] = pl.groupKeyFor(p, tensor.ID(i))
+	}
 
 	// Eviction schedule: a long-lived tensor leaves fast memory after
 	// the last layer of an access burst when its next access is beyond
@@ -186,11 +198,21 @@ func (pl *Plan) PrefetchBytes(p *profile.Profile, k int) int64 {
 // grouped by exact layer residence and access-frequency bucket so no page
 // mixes different lifetimes or temperatures.
 func (pl *Plan) GroupKey(p *profile.Profile, t *tensor.Tensor) string {
-	ts := p.ByID(t.ID)
+	if p == pl.keyProf && t.ID >= 0 && int(t.ID) < len(pl.groupKeys) {
+		return pl.groupKeys[t.ID]
+	}
+	return pl.groupKeyFor(p, t.ID)
+}
+
+// groupKeyFor computes a group key directly; GroupKey serves memoized
+// results for the plan's own profile and falls back here for unprofiled
+// or foreign lookups.
+func (pl *Plan) groupKeyFor(p *profile.Profile, id tensor.ID) string {
+	ts := p.ByID(id)
 	if ts == nil || ts.Name == "" {
 		return "unprofiled"
 	}
-	if pl.Short[t.ID] {
+	if pl.Short[id] {
 		return ShortPoolGroup
 	}
 	return fmt.Sprintf("L%d-%d/h%d", ts.AllocLayer, ts.FreeLayer, hotBucket(ts.Accesses))

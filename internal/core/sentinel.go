@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"sentinel/internal/alloc"
 	"sentinel/internal/exec"
@@ -103,6 +104,11 @@ type Sentinel struct {
 	sawCase3 bool
 	case3s   int
 
+	// evictCands is scratch reused across MakeRoom calls; MakeRoom runs
+	// on every fast-memory shortfall, and regrowing the candidate list
+	// each time was a top source of steady-state garbage.
+	evictCands []evictCand
+
 	// Diag counters (per run).
 	diag struct {
 		evictTried, evictMoved     int64
@@ -110,6 +116,13 @@ type Sentinel struct {
 		allocFast, allocSlow       int64
 		relocated                  int64
 	}
+}
+
+// evictCand is a MakeRoom eviction candidate: a resident long-lived
+// tensor ranked by how far away its next access is.
+type evictCand struct {
+	id   tensor.ID
+	next int
 }
 
 // New returns a Sentinel policy with the config.
@@ -509,11 +522,7 @@ func (s *Sentinel) MakeRoom(rt *exec.Runtime, need int64) int64 {
 		return 0
 	}
 	prof := s.cur.prof
-	type cand struct {
-		id   tensor.ID
-		next int
-	}
-	var cands []cand
+	cands := s.evictCands[:0]
 	for i := range prof.Tensors {
 		ts := &prof.Tensors[i]
 		if s.short(ts.ID) {
@@ -529,9 +538,10 @@ func (s *Sentinel) MakeRoom(rt *exec.Runtime, need int64) int64 {
 		if next <= s.curLayer+1 {
 			continue // needed immediately
 		}
-		cands = append(cands, cand{id: ts.ID, next: next})
+		cands = append(cands, evictCand{id: ts.ID, next: next})
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].next > cands[j].next })
+	s.evictCands = cands
+	slices.SortFunc(cands, func(a, b evictCand) int { return cmp.Compare(b.next, a.next) })
 	var freed int64
 	for _, c := range cands {
 		if freed >= need {

@@ -1,0 +1,136 @@
+package core
+
+import "sentinel/internal/tensor"
+
+// stableByPos applies to ids the exact permutation sort.SliceStable
+// produces under the position-keyed comparator first[i] < first[j], where
+// first is never reordered alongside ids (see intervalNeeds: the golden
+// experiment tables pin that deliberately position-keyed order). It
+// mirrors the stdlib's stable sort — insertion sort on 20-element blocks,
+// then symmetric merging — so the comparison and swap sequence, and
+// therefore the resulting permutation, is identical, while the
+// reflect-based swapper that dominated plan-construction profiles is
+// gone. Any change to the block size or merge structure here changes
+// observable migration plans; the golden tables are the guard.
+func stableByPos(ids []tensor.ID, first []int64) {
+	n := len(ids)
+	blockSize := 20
+	a, b := 0, blockSize
+	for b <= n {
+		insertionSortPos(ids, first, a, b)
+		a = b
+		b += blockSize
+	}
+	insertionSortPos(ids, first, a, n)
+
+	for blockSize < n {
+		a, b = 0, 2*blockSize
+		for b <= n {
+			symMergePos(ids, first, a, a+blockSize, b)
+			a = b
+			b += 2 * blockSize
+		}
+		if m := a + blockSize; m < n {
+			symMergePos(ids, first, a, m, n)
+		}
+		blockSize *= 2
+	}
+}
+
+func insertionSortPos(ids []tensor.ID, first []int64, a, b int) {
+	for i := a + 1; i < b; i++ {
+		for j := i; j > a && first[j] < first[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func symMergePos(ids []tensor.ID, first []int64, a, m, b int) {
+	if m-a == 1 {
+		i := m
+		j := b
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if first[h] < first[a] {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		for k := a; k < i-1; k++ {
+			ids[k], ids[k+1] = ids[k+1], ids[k]
+		}
+		return
+	}
+
+	if b-m == 1 {
+		i := a
+		j := m
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if !(first[m] < first[h]) {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		for k := m; k > i; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+		return
+	}
+
+	mid := int(uint(a+b) >> 1)
+	n := mid + m
+	var start, r int
+	if m > mid {
+		start = n - b
+		r = mid
+	} else {
+		start = a
+		r = m
+	}
+	p := n - 1
+
+	for start < r {
+		c := int(uint(start+r) >> 1)
+		if !(first[p-c] < first[c]) {
+			start = c + 1
+		} else {
+			r = c
+		}
+	}
+
+	end := n - start
+	if start < m && m < end {
+		rotatePos(ids, start, m, end)
+	}
+	if a < start && start < mid {
+		symMergePos(ids, first, a, start, mid)
+	}
+	if mid < end && end < b {
+		symMergePos(ids, first, mid, end, b)
+	}
+}
+
+func rotatePos(ids []tensor.ID, a, m, b int) {
+	i := m - a
+	j := b - m
+
+	for i != j {
+		if i > j {
+			swapRangePos(ids, m-i, m, j)
+			i -= j
+		} else {
+			swapRangePos(ids, m-i, m+j-i, i)
+			j -= i
+		}
+	}
+	swapRangePos(ids, m-i, m, i)
+}
+
+func swapRangePos(ids []tensor.ID, a, b, n int) {
+	for i := 0; i < n; i++ {
+		ids[a+i], ids[b+i] = ids[b+i], ids[a+i]
+	}
+}

@@ -120,6 +120,7 @@ func NewRuntime(g *graph.Graph, spec memsys.Spec, p Policy, opts ...Option) (*Ru
 	}
 	rt.wireTrace()
 	rt.a = alloc.New(k, p.AllocConfig(g))
+	rt.a.Reserve(len(g.Tensors))
 	rt.a.SetClock(func() simtime.Time { return rt.now })
 	rt.a.SetTrace(rt.sink)
 	// Weights and inputs are allocated before the training loop.
@@ -396,6 +397,7 @@ func (rt *Runtime) RunUntilSteady(tol float64, maxSteps int) (*metrics.RunStats,
 	return &rt.run, false, nil
 }
 
+//perf:hot
 func (rt *Runtime) execOp(i int, op *graph.Op) error {
 	st := rt.st
 	// Allocate outputs and scratch.
@@ -408,7 +410,9 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		if err != nil {
 			return fmt.Errorf("%w: allocating %s (%s)", rt.oomErr(), t.Name, simtime.Bytes(t.Size))
 		}
-		rt.emit(trace.Event{At: rt.now, Kind: trace.KAlloc, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
+		if rt.sink.Enabled() {
+			rt.emit(trace.Event{At: rt.now, Kind: trace.KAlloc, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
+		}
 		rt.policy.TensorAllocated(t, r)
 	}
 	rt.policy.OpStart(i, op)
@@ -495,7 +499,9 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 		if err := rt.a.Free(t); err != nil {
 			return err
 		}
-		rt.emit(trace.Event{At: rt.now, Kind: trace.KFree, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
+		if rt.sink.Enabled() {
+			rt.emit(trace.Event{At: rt.now, Kind: trace.KFree, Tensor: t.ID, Name: t.Name, Bytes: t.Size})
+		}
 		rt.policy.TensorFreed(t, r)
 	}
 	rt.policy.OpEnd(i, op)
@@ -503,6 +509,8 @@ func (rt *Runtime) execOp(i int, op *graph.Op) error {
 }
 
 // fastFraction returns the fraction of a region resident on fast memory.
+//
+//perf:hot
 func (rt *Runtime) fastFraction(r alloc.Region, at simtime.Time) float64 {
 	fast, slow := rt.k.TierBytes(r.Addr, r.Size, at)
 	total := fast + slow

@@ -190,7 +190,7 @@ func (c cellRun) label() string {
 
 // execute runs the cell from scratch: build the graph, run the policy.
 func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
-	g, err := model.Build(c.model, c.batch)
+	g, err := model.BuildShared(c.model, c.batch)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +284,7 @@ func quarantinedStats(c cellRun) *metrics.RunStats {
 // so sizing a sweep does not rebuild the graph per cell.
 func (o Options) peak(modelName string, batch int) (int64, error) {
 	return cacheDo(o, fmt.Sprintf("peak|%s|b%d", modelName, batch), func() (int64, error) {
-		g, err := model.Build(modelName, batch)
+		g, err := model.BuildShared(modelName, batch)
 		if err != nil {
 			return 0, err
 		}
@@ -306,7 +306,7 @@ func (o Options) fastSized(modelName string, batch int, pct float64) (memsys.Spe
 func (o Options) characterize(modelName string, batch int, spec memsys.Spec) (*profile.Characterization, error) {
 	key := fmt.Sprintf("char|%s|b%d|%s", modelName, batch, spec.Name)
 	return cacheDo(o, key, func() (*profile.Characterization, error) {
-		g, err := model.Build(modelName, batch)
+		g, err := model.BuildShared(modelName, batch)
 		if err != nil {
 			return nil, err
 		}
@@ -318,7 +318,7 @@ func (o Options) characterize(modelName string, batch int, spec memsys.Spec) (*p
 func (o Options) collectProfile(modelName string, batch int, spec memsys.Spec) (*profile.Profile, error) {
 	key := fmt.Sprintf("prof|%s|b%d|%s", modelName, batch, spec.Name)
 	return cacheDo(o, key, func() (*profile.Profile, error) {
-		g, err := model.Build(modelName, batch)
+		g, err := model.BuildShared(modelName, batch)
 		if err != nil {
 			return nil, err
 		}

@@ -51,7 +51,7 @@ func Fig5(o Options) (*Table, error) {
 			fmt.Sprintf("+%.1f%%", 100*(float64(d)/float64(best)-1)))
 	}
 	// Report what the performance model would pick.
-	g, err := model.Build("resnet32", 128)
+	g, err := model.BuildShared("resnet32", 128)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +351,7 @@ func Table3(o Options) (*Table, error) {
 		m := ms[i]
 		// This cell needs the live policy instance (OverheadSteps), so
 		// it runs the runtime directly instead of a cached cellRun.
-		g, err := model.Build(m.Name, m.SmallBatch)
+		g, err := model.BuildShared(m.Name, m.SmallBatch)
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,13 @@ type Graph struct {
 	// dataflow is variant 0 (see Sec. IV-E "Handling control
 	// dependencies").
 	Variant int
+
+	// validated memoizes a successful Validate: graphs are immutable once
+	// built (model.BuildShared hands one graph to many runtimes), and the
+	// full structural walk per runtime construction was measurable in
+	// sweep profiles. Mutating a graph after validation voids the memo's
+	// guarantee — don't.
+	validated bool
 }
 
 // T returns the tensor with the given id.
@@ -145,6 +152,9 @@ func (g *Graph) TotalFLOPs() float64 {
 // Validate checks structural invariants: every access within the owning
 // tensor's lifetime, allocs/frees exactly once, layers non-decreasing.
 func (g *Graph) Validate() error {
+	if g.validated {
+		return nil
+	}
 	if g.NumLayers <= 0 {
 		return fmt.Errorf("graph %s: no layers", g.Model)
 	}
@@ -195,6 +205,7 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph %s: %w", g.Model, err)
 		}
 	}
+	g.validated = true
 	return nil
 }
 

@@ -425,5 +425,15 @@ func TestRandomOpsInvariants(t *testing.T) {
 		if k.Used(memsys.Fast) < 0 || k.Used(memsys.Slow) < 0 {
 			t.Fatalf("op %d: negative usage", i)
 		}
+		// Invariant: the dense end-key mirror used by findIdx tracks the
+		// run table exactly through every split, insert, and removal.
+		if len(k.ends) != len(k.runs) {
+			t.Fatalf("op %d: ends len %d, runs len %d", i, len(k.ends), len(k.runs))
+		}
+		for j := range k.runs {
+			if k.ends[j] != k.runs[j].end {
+				t.Fatalf("op %d: ends[%d]=%d, runs[%d].end=%d", i, j, k.ends[j], j, k.runs[j].end)
+			}
+		}
 	}
 }

@@ -136,3 +136,4 @@ func TestUnitSafetyFixtures(t *testing.T)  { runFixtures(t, UnitSafetyAnalyzer) 
 func TestTraceKindsFixtures(t *testing.T)  { runFixtures(t, TraceKindsAnalyzer) }
 func TestErrWrapFixtures(t *testing.T)     { runFixtures(t, ErrWrapAnalyzer) }
 func TestCtxFirstFixtures(t *testing.T)    { runFixtures(t, CtxFirstAnalyzer) }
+func TestHotPathFixtures(t *testing.T)     { runFixtures(t, HotPathAnalyzer) }

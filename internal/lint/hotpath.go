@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathAnalyzer flags map allocations inside functions annotated with
+// a //perf:hot doc-comment directive. The simulator's inner loops — the
+// per-access engine path, the kernel run-table walks, the allocator's
+// alloc/free cycle — were systematically rebuilt on dense slices and
+// scratch buffers after profiling showed per-call map allocation and
+// hashing dominating full-sweep time (see docs/BENCHMARKING.md). The
+// annotation marks a function as part of such a loop; this check keeps
+// a later edit from quietly reintroducing a `make(map...)` or a map
+// literal there. Closures declared inside a hot function are part of
+// its body and are checked too.
+//
+// Using a map on a hot path is occasionally the right call — suppress
+// with //lint:allow hotpath and a justification, as with every check.
+var HotPathAnalyzer = &Analyzer{
+	Name: "hotpath",
+	Doc:  "flag map allocation (make or composite literal) inside //perf:hot functions",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isPerfHot(fd.Doc) {
+				continue
+			}
+			checkHotBody(pass, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// isPerfHot reports whether the doc group carries the //perf:hot
+// directive (as its own line, in the directive form gofmt preserves).
+func isPerfHot(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == "perf:hot" || strings.HasPrefix(text, "perf:hot ") {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotBody reports every map allocation in the function body:
+// make(map[K]V), with or without a size hint, and map composite
+// literals (both allocate; literals additionally hash every key).
+func checkHotBody(pass *Pass, fn string, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || len(n.Args) == 0 {
+				return true
+			}
+			if obj := pass.Info.Uses[id]; obj != nil {
+				if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+					return true // a local function shadowing the builtin
+				}
+			}
+			if tv, ok := pass.Info.Types[n.Args[0]]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"make(map) in //perf:hot function %s: maps allocate and hash per operation; use a dense slice keyed by id, or a reused scratch buffer", fn)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map literal in //perf:hot function %s: maps allocate and hash per operation; use a dense slice keyed by id, or a reused scratch buffer", fn)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -94,6 +94,7 @@ func Analyzers() []*Analyzer {
 		TraceKindsAnalyzer,
 		ErrWrapAnalyzer,
 		CtxFirstAnalyzer,
+		HotPathAnalyzer,
 	}
 }
 

@@ -1,0 +1,75 @@
+// Package hot is the hotpath fixture: map allocations inside functions
+// carrying the //perf:hot directive are flagged; the same code in an
+// unannotated function, or map reads/writes without allocation, are
+// not.
+package hot
+
+// lookup resolves ids through a scratch table.
+//
+//perf:hot
+func lookup(ids []int) map[int]bool {
+	seen := make(map[int]bool, len(ids)) // want `make\(map\) in //perf:hot function lookup`
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}
+
+// tally builds a literal on the hot path.
+//
+//perf:hot
+func tally(n int) map[string]int {
+	m := map[string]int{"hits": n} // want `map literal in //perf:hot function tally`
+	return m
+}
+
+// closureAlloc allocates inside a closure declared in a hot function —
+// still the hot loop's body.
+//
+//perf:hot
+func closureAlloc(ids []int) int {
+	f := func() map[int]int {
+		return make(map[int]int) // want `make\(map\) in //perf:hot function closureAlloc`
+	}
+	return len(f())
+}
+
+// useOnly is hot but only reads and writes an existing map: no
+// allocation, not flagged.
+//
+//perf:hot
+func useOnly(m map[int]int, k int) int {
+	m[k]++
+	return m[k]
+}
+
+// denseScratch is the sanctioned replacement shape: a slice keyed by
+// id, grown once.
+//
+//perf:hot
+func denseScratch(ids []int, n int) []bool {
+	seen := make([]bool, n)
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}
+
+// coldAlloc allocates a map but carries no directive: building a map in
+// setup or reporting code is fine.
+func coldAlloc(ids []int) map[int]bool {
+	seen := make(map[int]bool)
+	for _, id := range ids {
+		seen[id] = true
+	}
+	return seen
+}
+
+// allowed is hot and allocates, but the site is suppressed with a
+// justification — the escape hatch works as for every check.
+//
+//perf:hot
+func allowed(n int) map[int]int {
+	//lint:allow hotpath small bounded map built once per reconfigure
+	return make(map[int]int, n)
+}

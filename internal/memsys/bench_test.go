@@ -1,0 +1,42 @@
+package memsys
+
+import (
+	"testing"
+
+	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
+)
+
+// BenchmarkChannelSubmit measures migration-channel queuing — the bandwidth
+// math charged per migration batch.
+func BenchmarkChannelSubmit(b *testing.B) {
+	c := NewChannel(8e9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(simtime.Time(i), 64<<10)
+	}
+}
+
+// BenchmarkChannelSubmitUrgent measures the derated demand-fault path.
+func BenchmarkChannelSubmitUrgent(b *testing.B) {
+	c := NewChannel(8e9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SubmitUrgent(simtime.Time(i), 4<<10)
+	}
+}
+
+// BenchmarkBWTraceConsume measures folding access events into the bucketed
+// Fig. 9 bandwidth series.
+func BenchmarkBWTraceConsume(b *testing.B) {
+	tr := NewBWTrace(simtime.Millisecond)
+	ev := trace.Event{Kind: trace.KAccess, Tier: trace.TierFast, Bytes: 4096}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = simtime.Time(i % (1 << 20))
+		tr.Consume(ev)
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"testing"
+
+	"sentinel/internal/simtime"
+)
+
+// BenchmarkBusEmit measures the raw ring append — the cost every traced
+// subsystem pays per event.
+func BenchmarkBusEmit(b *testing.B) {
+	bus := NewBus(1 << 12)
+	ev := Event{At: 1, Kind: KAccess, Tensor: 7, Name: "act3", Bytes: 4096, Tier: TierFast}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = simtime.Time(i)
+		bus.Emit(ev)
+	}
+}
+
+// BenchmarkSinkEmit measures the full per-run emit path: run labelling,
+// step/layer context stamping, then the ring append.
+func BenchmarkSinkEmit(b *testing.B) {
+	bus := NewBus(1 << 12)
+	s := NewSink(bus, "run-0")
+	step, layer := 3, 12
+	s.SetContext(func() (int, int) { return step, layer })
+	ev := Event{At: 1, Kind: KMigrateIn, Tensor: NoTensor, Bytes: 1 << 20}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.At = simtime.Time(i)
+		s.Emit(ev)
+	}
+}
+
+// BenchmarkSinkEmitDisabled measures the disabled-tracing fast path, which
+// every instrumented call site pays on untraced runs.
+func BenchmarkSinkEmitDisabled(b *testing.B) {
+	var s *Sink
+	ev := Event{At: 1, Kind: KFault, Tensor: NoTensor, Count: 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(ev)
+	}
+}

@@ -38,6 +38,8 @@ func NewBus(capacity int) *Bus {
 // and hands it to every subscriber. Subscribers run synchronously under
 // the bus lock — they serialize concurrent emitters and must not call
 // back into the bus.
+//
+//perf:hot
 func (b *Bus) Emit(e Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -127,6 +129,8 @@ func (s *Sink) SetContext(fn func() (step, layer int)) {
 
 // Emit stamps the event with the sink's run label and context, then
 // forwards it to the bus. Safe on a nil sink (drops the event).
+//
+//perf:hot
 func (s *Sink) Emit(e Event) {
 	if s == nil || s.bus == nil {
 		return

@@ -1,0 +1,34 @@
+package trace
+
+import "testing"
+
+// The emit path sits inside the simulator's per-access inner loop; the
+// ring is allocated up front precisely so steady-state emission never
+// touches the heap. These tests pin that property — a regression here
+// shows up as GC pressure across every traced sweep.
+
+func TestBusEmitDoesNotAllocate(t *testing.T) {
+	b := NewBus(128)
+	ev := Event{Kind: KAccess, Tier: TierFast, Bytes: 4096, Tensor: 7, Name: "w0"}
+	if n := testing.AllocsPerRun(1000, func() { b.Emit(ev) }); n != 0 {
+		t.Fatalf("Bus.Emit allocates %.1f objects per call, want 0", n)
+	}
+}
+
+func TestSinkEmitDoesNotAllocate(t *testing.T) {
+	b := NewBus(128)
+	s := NewSink(b, "run")
+	s.SetContext(func() (int, int) { return 3, 5 })
+	ev := Event{Kind: KAccess, Tier: TierSlow, Bytes: 1 << 20, Tensor: 9, Name: "grad"}
+	if n := testing.AllocsPerRun(1000, func() { s.Emit(ev) }); n != 0 {
+		t.Fatalf("Sink.Emit allocates %.1f objects per call, want 0", n)
+	}
+}
+
+func TestNilSinkEmitDoesNotAllocate(t *testing.T) {
+	var s *Sink
+	ev := Event{Kind: KMigrateIn, Bytes: 1 << 16}
+	if n := testing.AllocsPerRun(1000, func() { s.Emit(ev) }); n != 0 {
+		t.Fatalf("nil Sink.Emit allocates %.1f objects per call, want 0", n)
+	}
+}
