@@ -17,10 +17,15 @@
 // resolve relative to the repo root (the working directory), which is
 // how docs cite them.
 //
-// Usage: go run ./cmd/mdcheck README.md docs/*.md
+// With -cmds FILE.md, mdcheck additionally enforces command coverage:
+// every binary under cmd/ must be mentioned by name in FILE.md
+// (normally the README), so new tools cannot land undocumented.
+//
+// Usage: go run ./cmd/mdcheck -cmds README.md README.md docs/*.md
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -51,11 +56,17 @@ var goPathRE = regexp.MustCompile(`^(?:\./)?(?:sentinel/)?((?:internal|cmd|examp
 var symbolRE = regexp.MustCompile(`^(.*[^./])\.[A-Z][A-Za-z0-9_]*$`)
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md [FILE.md ...]")
+	cmds := flag.String("cmds", "", "markdown file that must mention every binary under cmd/ by name")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck [-cmds README.md] FILE.md [FILE.md ...]")
 		os.Exit(2)
 	}
-	if checkFiles(".", os.Args[1:], os.Stderr) > 0 {
+	broken := checkFiles(".", flag.Args(), os.Stderr)
+	if *cmds != "" {
+		broken += checkCmdCoverage(".", *cmds, os.Stderr)
+	}
+	if broken > 0 {
 		os.Exit(1)
 	}
 }
@@ -130,6 +141,38 @@ func checkGoPaths(root, file string, lineno int, line string, w io.Writer) int {
 		}
 	}
 	return broken
+}
+
+// checkCmdCoverage enforces the cmd-coverage rule: every directory
+// under root/cmd is a binary, and each binary's name must appear
+// somewhere in the given markdown file. It returns the number of
+// undocumented binaries (reporting each to w).
+func checkCmdCoverage(root, file string, w io.Writer) int {
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		fmt.Fprintf(w, "mdcheck: -cmds: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(w, "mdcheck: -cmds: %v\n", err)
+		return 1
+	}
+	missing := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if !strings.Contains(string(data), e.Name()) {
+			fmt.Fprintf(w, "%s: binary cmd/%s is not mentioned (every tool must be documented)\n",
+				file, e.Name())
+			missing++
+		}
+	}
+	if missing > 0 {
+		fmt.Fprintf(w, "mdcheck: %d undocumented command(s)\n", missing)
+	}
+	return missing
 }
 
 func skip(target string) bool {

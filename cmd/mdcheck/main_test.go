@@ -78,6 +78,51 @@ func TestLinksStillChecked(t *testing.T) {
 	}
 }
 
+func TestCmdCoverage(t *testing.T) {
+	root := t.TempDir()
+	for _, dir := range []string{"cmd/sentinel-bench", "cmd/sentinel-serve", "cmd/mdcheck"} {
+		if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	md := filepath.Join(root, "README.md")
+	if err := os.WriteFile(md, []byte("Run `sentinel-bench` and check docs with `mdcheck`.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if missing := checkCmdCoverage(root, md, &out); missing != 1 {
+		t.Errorf("want 1 undocumented command, got %d:\n%s", missing, out.String())
+	}
+	if !strings.Contains(out.String(), "cmd/sentinel-serve") {
+		t.Errorf("output does not name the undocumented binary:\n%s", out.String())
+	}
+
+	// Documenting the missing binary clears the failure.
+	if err := os.WriteFile(md, []byte("`sentinel-bench`, `sentinel-serve`, `mdcheck`.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if missing := checkCmdCoverage(root, md, &out); missing != 0 {
+		t.Errorf("want full coverage, got %d:\n%s", missing, out.String())
+	}
+}
+
+func TestCmdCoverageMissingInputs(t *testing.T) {
+	root := t.TempDir()
+	var out strings.Builder
+	if got := checkCmdCoverage(root, filepath.Join(root, "README.md"), &out); got != 1 {
+		t.Errorf("missing cmd/ dir should count as broken, got %d", got)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "cmd/tool"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if got := checkCmdCoverage(root, filepath.Join(root, "README.md"), &out); got != 1 {
+		t.Errorf("missing markdown file should count as broken, got %d", got)
+	}
+}
+
 func TestMissingFileIsAFailure(t *testing.T) {
 	var out strings.Builder
 	if broken := checkFiles(t.TempDir(), []string{"no-such.md"}, &out); broken != 1 {

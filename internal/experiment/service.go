@@ -1,0 +1,334 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sentinel/internal/memsys"
+	"sentinel/internal/metrics"
+	"sentinel/internal/model"
+	"sentinel/internal/policyset"
+	"sentinel/internal/profile"
+)
+
+// This file is the request-shaped entry point into the experiment
+// harness: typed request structs with validation, used by
+// cmd/sentinel-serve (and usable by any other embedder that wants to
+// submit work without building cellRun values by hand). Every request
+// funnels into the same worker pool, plan cache, and journal plumbing
+// the CLI sweeps use, so a served response is computed by exactly the
+// code path a sentinel-bench invocation would take.
+
+// ErrBadRequest is the sentinel all request-validation failures wrap,
+// so transport layers can map errors.Is(err, ErrBadRequest) to a 400
+// while everything else stays a 500.
+var ErrBadRequest = errors.New("invalid request")
+
+// RequestError is one rejected request field. It wraps ErrBadRequest.
+type RequestError struct {
+	// Field names the offending request field (JSON name).
+	Field string
+	// Reason says what is wrong with it, in client-facing terms.
+	Reason string
+}
+
+// Error renders "field: reason".
+func (e *RequestError) Error() string { return fmt.Sprintf("%s: %s", e.Field, e.Reason) }
+
+// Unwrap makes errors.Is(err, ErrBadRequest) hold.
+func (e *RequestError) Unwrap() error { return ErrBadRequest }
+
+// badField builds a *RequestError for field.
+func badField(field, format string, args ...any) *RequestError {
+	return &RequestError{Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// platforms maps the platform names requests use to machine presets.
+// The map is never iterated for output — Platforms() sorts.
+var platforms = map[string]func() memsys.Spec{
+	"optane":   memsys.OptaneHM,
+	"gpu":      memsys.GPUHM,
+	"gpu-a100": memsys.GPUHM_A100,
+	"cxl":      memsys.CXLHM,
+}
+
+// Platforms lists the requestable machine-preset names, sorted.
+func Platforms() []string {
+	names := make([]string, 0, len(platforms))
+	for n := range platforms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Platform resolves a preset name ("" means optane) to its machine spec.
+func Platform(name string) (memsys.Spec, error) {
+	if name == "" {
+		name = "optane"
+	}
+	f, ok := platforms[name]
+	if !ok {
+		return memsys.Spec{}, badField("platform", "unknown platform %q (known: %v)", name, Platforms())
+	}
+	return f(), nil
+}
+
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
+// knownModel reports whether name is in the model zoo.
+func knownModel(name string) bool {
+	for _, m := range model.Names() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CellRequest asks for one simulation cell: train Model at Batch for
+// Steps steps under Policy on Platform, with the fast tier sized either
+// explicitly (FastBytes) or as a percentage of the model's peak memory
+// (FastPct). The zero sizing keeps the platform preset's fast tier.
+type CellRequest struct {
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+	Policy   string `json:"policy"`
+	Platform string `json:"platform,omitempty"`
+	// FastPct sizes the fast tier as a percentage of the model's peak
+	// memory (the paper's capacity axis). Mutually exclusive with
+	// FastBytes.
+	FastPct float64 `json:"fast_pct,omitempty"`
+	// FastBytes sizes the fast tier explicitly.
+	FastBytes int64 `json:"fast_bytes,omitempty"`
+	// Steps is the number of training steps; 0 means the default (5).
+	Steps int `json:"steps,omitempty"`
+}
+
+// Normalized fills defaults: optane platform, 5 steps.
+func (r CellRequest) Normalized() CellRequest {
+	if r.Platform == "" {
+		r.Platform = "optane"
+	}
+	if r.Steps == 0 {
+		r.Steps = 5
+	}
+	return r
+}
+
+// Validate checks every field against the registries, returning a
+// *RequestError (wrapping ErrBadRequest) naming the first offending
+// field. Call on a Normalized request.
+func (r CellRequest) Validate() error {
+	if r.Model == "" {
+		return badField("model", "required (known: %v)", model.Names())
+	}
+	if !knownModel(r.Model) {
+		return badField("model", "unknown model %q (known: %v)", r.Model, model.Names())
+	}
+	if r.Batch <= 0 {
+		return badField("batch", "must be a positive batch size, got %d", r.Batch)
+	}
+	if r.Policy == "" {
+		return badField("policy", "required (known: %v)", policyset.Names())
+	}
+	if _, err := policyset.New(r.Policy); err != nil {
+		return badField("policy", "unknown policy %q (known: %v)", r.Policy, policyset.Names())
+	}
+	if _, err := Platform(r.Platform); err != nil {
+		return err
+	}
+	if r.FastPct < 0 {
+		return badField("fast_pct", "must be non-negative, got %g", r.FastPct)
+	}
+	if r.FastBytes < 0 {
+		return badField("fast_bytes", "must be non-negative, got %d", r.FastBytes)
+	}
+	if r.FastPct > 0 && r.FastBytes > 0 {
+		return badField("fast_pct", "fast_pct and fast_bytes are mutually exclusive")
+	}
+	if r.Steps < 1 || r.Steps > 1000 {
+		return badField("steps", "must be in [1, 1000], got %d", r.Steps)
+	}
+	return nil
+}
+
+// spec resolves the request's machine spec, sizing the fast tier from
+// FastBytes or FastPct (via the memoized peak-memory lookup).
+func (r CellRequest) spec(o Options) (memsys.Spec, error) {
+	spec, err := Platform(r.Platform)
+	if err != nil {
+		return memsys.Spec{}, err
+	}
+	switch {
+	case r.FastBytes > 0:
+		spec = spec.WithFastSize(r.FastBytes)
+	case r.FastPct > 0:
+		peak, err := o.peak(r.Model, r.Batch)
+		if err != nil {
+			return memsys.Spec{}, err
+		}
+		spec = spec.WithFastSize(int64(r.FastPct / 100 * float64(peak)))
+	}
+	return spec, nil
+}
+
+// RunCell executes one requested simulation cell through the shared
+// plan cache (singleflight: concurrent identical requests compute
+// once), the journal when configured, and the pool's fault boundary —
+// a panicking or cancelled cell comes back as a typed error, never a
+// crash. Results are deterministic: identical requests yield identical
+// stats whether computed or cached.
+func RunCell(o Options, r CellRequest) (*metrics.RunStats, error) {
+	r = r.Normalized()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := r.spec(o)
+	if err != nil {
+		return nil, err
+	}
+	c := cellRun{model: r.Model, batch: r.Batch, spec: spec, policy: r.Policy, steps: r.Steps}
+	return runCell(o, func(int) (*metrics.RunStats, error) { return o.run(c) }, 0)
+}
+
+// PlanRequest asks for Sentinel's profiling-and-planning stage on a
+// workload without simulating a full training run: which tensors are
+// short- versus long-lived, how much fast memory the pinned pool
+// reserves, and what the profiled step cost.
+type PlanRequest struct {
+	Model    string `json:"model"`
+	Batch    int    `json:"batch"`
+	Platform string `json:"platform,omitempty"`
+}
+
+// Normalized fills the default platform.
+func (r PlanRequest) Normalized() PlanRequest {
+	if r.Platform == "" {
+		r.Platform = "optane"
+	}
+	return r
+}
+
+// Validate checks the request fields; see CellRequest.Validate.
+func (r PlanRequest) Validate() error {
+	if r.Model == "" {
+		return badField("model", "required (known: %v)", model.Names())
+	}
+	if !knownModel(r.Model) {
+		return badField("model", "unknown model %q (known: %v)", r.Model, model.Names())
+	}
+	if r.Batch <= 0 {
+		return badField("batch", "must be a positive batch size, got %d", r.Batch)
+	}
+	if _, err := Platform(r.Platform); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PlanSummary is the wire form of a profiling/planning result. All
+// durations are virtual nanoseconds, so the summary is byte-stable
+// across runs and machines.
+type PlanSummary struct {
+	Model     string `json:"model"`
+	Batch     int    `json:"batch"`
+	Platform  string `json:"platform"`
+	NumLayers int    `json:"num_layers"`
+	Tensors   int    `json:"tensors"`
+	// ShortLived tensors live in the reserved pinned fast pool and
+	// never migrate; LongLived tensors are the migration plan's units.
+	ShortLived int `json:"short_lived"`
+	LongLived  int `json:"long_lived"`
+	// PeakMemoryBytes is the step's peak mapped bytes; the paper sizes
+	// capacity sweeps against it.
+	PeakMemoryBytes int64 `json:"peak_memory_bytes"`
+	// ReservedPoolBytes is RS: peak concurrent short-lived bytes, the
+	// fast memory Sentinel pins for the sub-page population.
+	ReservedPoolBytes int64 `json:"reserved_pool_bytes"`
+	// ProfiledStepNS and FaultOverheadNS quantify the profiling step
+	// (virtual time), Faults the poison-bit fault count.
+	ProfiledStepNS  int64 `json:"profiled_step_ns"`
+	FaultOverheadNS int64 `json:"fault_overhead_ns"`
+	Faults          int64 `json:"faults"`
+}
+
+// RunPlan executes the profiling stage for the request, memoized in the
+// shared cache under the same key the sweeps use, and summarizes it.
+func RunPlan(o Options, r PlanRequest) (*PlanSummary, error) {
+	r = r.Normalized()
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	spec, err := Platform(r.Platform)
+	if err != nil {
+		return nil, err
+	}
+	p, err := runCell(o, func(int) (*profile.Profile, error) {
+		return o.collectProfile(r.Model, r.Batch, spec)
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &PlanSummary{
+		Model: r.Model, Batch: r.Batch, Platform: r.Platform,
+		NumLayers: p.NumLayers, Tensors: len(p.Tensors),
+		PeakMemoryBytes:   p.PeakMemory,
+		ReservedPoolBytes: p.PeakShortLived,
+		ProfiledStepNS:    int64(p.StepTime),
+		FaultOverheadNS:   int64(p.FaultTime),
+		Faults:            p.Faults,
+	}
+	for i := range p.Tensors {
+		if p.Tensors[i].ShortLived() {
+			s.ShortLived++
+		}
+	}
+	s.LongLived = len(p.Tensors) - s.ShortLived
+	return s, nil
+}
+
+// SweepRequest asks for one whole experiment (a paper table or figure)
+// by registry id — the served equivalent of `sentinel-bench -exp ID`.
+type SweepRequest struct {
+	ID string `json:"id"`
+	// Quick trims the sweep exactly like sentinel-bench -quick.
+	Quick bool `json:"quick,omitempty"`
+	// Steps per cell; 0 means the default (5).
+	Steps int `json:"steps,omitempty"`
+}
+
+// Validate checks the experiment id against the registry.
+func (r SweepRequest) Validate() error {
+	if r.ID == "" {
+		return badField("id", "required (known: %v)", IDs())
+	}
+	if !Known(r.ID) {
+		return badField("id", "unknown experiment %q (known: %v)", r.ID, IDs())
+	}
+	if r.Steps < 0 || r.Steps > 1000 {
+		return badField("steps", "must be in [0, 1000], got %d", r.Steps)
+	}
+	return nil
+}
+
+// RunSweep executes the requested experiment on the given base options
+// (shared cache, worker-pool width, cancellation) and returns its
+// table. The table's rendered bytes — WriteCSV, WriteJSON, String —
+// are identical to the equivalent sentinel-bench invocation, because
+// this *is* the sentinel-bench code path.
+func RunSweep(o Options, r SweepRequest) (*Table, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	o.Quick = r.Quick
+	if r.Steps > 0 {
+		o.Steps = r.Steps
+	}
+	return Run(r.ID, o)
+}

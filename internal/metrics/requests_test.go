@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRequestStatsLifecycle(t *testing.T) {
+	var s RequestStats
+	s.Begin()
+	if got := s.Snapshot(); got.Accepted != 1 || got.InFlight != 1 {
+		t.Fatalf("after Begin: %+v", got)
+	}
+	s.End(10*time.Millisecond, true)
+	s.Begin()
+	s.End(30*time.Millisecond, false)
+	s.Reject()
+	got := s.Snapshot()
+	if got.Accepted != 2 || got.Completed != 1 || got.Failed != 1 || got.Rejected != 1 || got.InFlight != 0 {
+		t.Fatalf("counters wrong: %+v", got)
+	}
+	if got.LatencyTotal != 40*time.Millisecond {
+		t.Errorf("latency total %v, want 40ms", got.LatencyTotal)
+	}
+	if got.LatencyMax != 30*time.Millisecond {
+		t.Errorf("latency max %v, want 30ms", got.LatencyMax)
+	}
+	if got.MeanLatency() != 20*time.Millisecond {
+		t.Errorf("mean %v, want 20ms", got.MeanLatency())
+	}
+	if !strings.Contains(got.String(), "2 accepted") || !strings.Contains(got.String(), "1 rejected") {
+		t.Errorf("summary clause: %q", got.String())
+	}
+}
+
+func TestRequestStatsNegativeElapsedClamped(t *testing.T) {
+	var s RequestStats
+	s.Begin()
+	s.End(-time.Second, true)
+	if got := s.Snapshot(); got.LatencyTotal != 0 || got.LatencyMax != 0 {
+		t.Fatalf("negative elapsed leaked into latency: %+v", got)
+	}
+}
+
+func TestRequestStatsMeanBeforeAnyFinish(t *testing.T) {
+	var s RequestStats
+	if m := s.Snapshot().MeanLatency(); m != 0 {
+		t.Fatalf("mean before any request: %v", m)
+	}
+}
+
+// TestRequestStatsConcurrent hammers the counters from many goroutines;
+// the -race job turns any unsynchronized access into a failure, and the
+// final snapshot must balance.
+func TestRequestStatsConcurrent(t *testing.T) {
+	var s RequestStats
+	const workers, per = 16, 200
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%5 == 0 {
+					s.Reject()
+					continue
+				}
+				s.Begin()
+				s.End(time.Duration(i)*time.Microsecond, i%3 != 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := s.Snapshot()
+	if got.InFlight != 0 {
+		t.Errorf("in-flight gauge did not return to zero: %d", got.InFlight)
+	}
+	if got.Accepted != got.Completed+got.Failed {
+		t.Errorf("accepted %d != completed %d + failed %d", got.Accepted, got.Completed, got.Failed)
+	}
+	if got.Rejected != workers*per/5 {
+		t.Errorf("rejected %d, want %d", got.Rejected, workers*per/5)
+	}
+	if got.LatencyMax > 199*time.Microsecond || got.LatencyMax == 0 {
+		t.Errorf("latency max %v outside the injected range", got.LatencyMax)
+	}
+}

@@ -2,16 +2,48 @@
 // command-line tools: every binary declares the same -trace and
 // -trace-format flag pair through Register and exports captured events
 // through Write, so tracing behaves identically across sentinel-train,
-// sentinel-bench, sentinel-profile, and sentinel-validate.
+// sentinel-bench, sentinel-profile, and sentinel-validate. The daemon
+// (sentinel-serve) reuses the same format set per request via
+// ValidFormat and ExportBus.
 package tracecli
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sentinel/internal/trace"
 )
+
+// ValidFormat reports whether format names a concrete exportable trace
+// format ("auto" is not concrete — it needs a file path to resolve).
+// Request-scoped tracing (sentinel-serve's trace_format field) uses this
+// to validate before running the traced cell.
+func ValidFormat(format string) bool {
+	for _, f := range trace.Formats() {
+		if f == format {
+			return true
+		}
+	}
+	return false
+}
+
+// ExportBus writes a bus's captured events to w in the named concrete
+// format. It is the streaming (per-request) counterpart of Flags.Write:
+// sentinel-serve attaches a private bus to a traced request and exports
+// it straight into the HTTP response body. A nil bus exports an empty
+// event stream.
+func ExportBus(w io.Writer, format string, bus *trace.Bus) error {
+	if !ValidFormat(format) {
+		return fmt.Errorf("trace format %q: want one of %v", format, trace.Formats())
+	}
+	var events []trace.Event
+	if bus != nil {
+		events = bus.Events()
+	}
+	return trace.Export(w, format, events)
+}
 
 // Flags holds one binary's trace flag values and its capture bus.
 type Flags struct {
