@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"sentinel/internal/chaos"
+	"sentinel/internal/exec"
 	"sentinel/internal/experiment"
 	"sentinel/internal/metrics"
 	"sentinel/internal/tracecli"
@@ -58,12 +59,16 @@ func main() {
 	)
 	tf := tracecli.Register()
 	cf := chaos.RegisterFlags()
+	of := exec.RegisterOnlineFlags()
 	flag.Parse()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "sentinel-bench:", err)
 		os.Exit(1)
 	}
 	if err := cf.Validate(); err != nil {
+		fail(err)
+	}
+	if err := of.Validate(); err != nil {
 		fail(err)
 	}
 
@@ -81,7 +86,7 @@ func main() {
 	defer stop()
 
 	opts := experiment.Options{Steps: *steps, Quick: *quick, Workers: *workers,
-		Trace: tf.Bus(), Chaos: *cf, Ctx: ctx, CellTimeout: *cellTimeout}
+		Trace: tf.Bus(), Chaos: *cf, Online: *of, Ctx: ctx, CellTimeout: *cellTimeout}
 	if *seq {
 		// The reference path the golden determinism tests compare
 		// against: strictly sequential and cache-free.

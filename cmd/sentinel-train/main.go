@@ -36,8 +36,12 @@ func main() {
 	)
 	tf := tracecli.Register()
 	cf := chaos.RegisterFlags()
+	of := exec.RegisterOnlineFlags()
 	flag.Parse()
 	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
+	if err := of.Validate(); err != nil {
 		fatal(err)
 	}
 
@@ -87,6 +91,9 @@ func main() {
 	if cf.Enabled() {
 		opts = append(opts, exec.WithChaos(chaos.New(*cf)))
 	}
+	if of.Enabled {
+		opts = append(opts, exec.WithOnline(*of))
+	}
 	run, err := policyset.Run(g, spec, *policy, *steps, opts...)
 	if err != nil {
 		fatal(err)
@@ -114,6 +121,13 @@ func main() {
 		}
 		fmt.Printf("chaos: %v  migrate-retries %d  degraded %d%s\n",
 			cf, retries, degraded, diverged)
+	}
+	if of.Enabled {
+		fmt.Printf("online: %v  replans %d  recovered steps %d\n",
+			*of, run.Replans, run.RecoveredSteps)
+		for _, l := range run.ControllerLog {
+			fmt.Printf("  controller %s\n", l)
+		}
 	}
 	fmt.Printf("steady step %v  throughput %.1f samples/s\n",
 		run.SteadyStepTime(), run.Throughput())

@@ -35,30 +35,30 @@ type Config struct {
 	// Seed drives every pseudo-random draw. Runs with equal seeds and
 	// knobs are byte-for-byte identical. A seed alone (all knobs zero)
 	// injects nothing.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// ProfileNoise is the relative amplitude of per-tensor access-count
 	// jitter applied to the assembled profile: each tensor's observed
 	// count is scaled by a factor drawn uniformly from
 	// [1-ProfileNoise, 1+ProfileNoise]. 0 disables.
-	ProfileNoise float64
+	ProfileNoise float64 `json:"profile_noise,omitempty"`
 	// MigrateFail is the probability in [0,1) that a migration batch
 	// transiently fails and must be retried. The failed attempt still
 	// occupies the channel (the data moved, then was thrown away).
-	MigrateFail float64
+	MigrateFail float64 `json:"migrate_fail,omitempty"`
 	// MigrateSlow derates both migration channels to (1-MigrateSlow) of
 	// their configured bandwidth. 0 disables; must be < 1.
-	MigrateSlow float64
+	MigrateSlow float64 `json:"migrate_slow,omitempty"`
 	// ShrinkAtStep is the step index at the start of which the fast tier
 	// loses ShrinkFrac of its capacity. Active only when ShrinkFrac > 0;
 	// a negative step never fires.
-	ShrinkAtStep int
+	ShrinkAtStep int `json:"shrink_at_step,omitempty"`
 	// ShrinkFrac is the fraction of fast-tier capacity removed at
 	// ShrinkAtStep, in [0,1).
-	ShrinkFrac float64
+	ShrinkFrac float64 `json:"shrink_frac,omitempty"`
 	// ComputeJitter is the relative amplitude of per-step compute-time
 	// jitter: every op's compute component in step s is scaled by a
 	// factor drawn uniformly from [1-ComputeJitter, 1+ComputeJitter].
-	ComputeJitter float64
+	ComputeJitter float64 `json:"compute_jitter,omitempty"`
 }
 
 // Enabled reports whether any knob injects faults. A bare seed does not.

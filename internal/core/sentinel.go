@@ -79,6 +79,10 @@ type variantState struct {
 	// missing[k] is the bytes of interval k's needs that were not fast-
 	// resident at its last prefetch — the eviction-pressure signal.
 	missing []int64
+	// decomp is the profiled per-layer roofline decomposition, cached so
+	// an online replan can rebuild the plan without a fresh profiling
+	// step.
+	decomp LayerDecomp
 }
 
 // Sentinel is the runtime system of the paper: one profiling step per
@@ -92,6 +96,9 @@ type Sentinel struct {
 	cur      *variantState
 	// profiling is non-nil while the current step is a profiling step.
 	profiling *profile.Recorder
+	// sampler is non-nil while an online re-profiling round is observing
+	// (ReprofileStart..Replan); allocation hooks forward to it.
+	sampler   *profile.Sampler
 	curLayer  int
 	profSteps int
 
@@ -385,6 +392,9 @@ func (s *Sentinel) TensorAllocated(t *tensor.Tensor, r alloc.Region) {
 	if !s.managed() {
 		return
 	}
+	if s.sampler != nil {
+		s.sampler.TensorAllocated(t, r)
+	}
 	if s.allocTier(t) != memsys.Fast && t.Size >= 1<<20 && !s.short(t.ID) {
 		// Large tensor with no room: evict far-future tensors first,
 		// as the GPU path does, then retry.
@@ -415,7 +425,13 @@ func (s *Sentinel) TensorFreed(t *tensor.Tensor, r alloc.Region) {
 		s.profiling.TensorFreed(t, r)
 		return
 	}
-	if !s.managed() || s.short(t.ID) {
+	if !s.managed() {
+		return
+	}
+	if s.sampler != nil {
+		s.sampler.TensorFreed(t, r)
+	}
+	if s.short(t.ID) {
 		return // the pinned pool stays in fast memory by design
 	}
 	s.rt.Kernel().Relocate(r.Addr, r.Size, memsys.Slow, s.rt.Now())
@@ -427,6 +443,9 @@ func (s *Sentinel) StepEnd(step int, st *metrics.StepStats) {
 	if s.profiling != nil {
 		s.finishProfiling(st)
 		return
+	}
+	if s.sampler != nil {
+		s.sampler.StepEnd()
 	}
 	if !s.cfg.TestAndTrial {
 		return
@@ -457,6 +476,7 @@ func (s *Sentinel) finishProfiling(st *metrics.StepStats) {
 	s.cur.prof = s.profiling.Assemble(st)
 	s.profiling = nil
 	decomp := LayerDecomp{Compute: st.LayerComputeTime, Mem: st.LayerMemTime}
+	s.cur.decomp = decomp
 	var plan *Plan
 	var err error
 	if s.cfg.VariableMIL && s.cfg.ForceMIL == 0 {

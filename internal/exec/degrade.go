@@ -28,6 +28,12 @@ var (
 	// sized for a machine that no longer exists. errors.Is(err, ErrOOM)
 	// still holds, so capacity-probing callers behave unchanged.
 	ErrCapacityShrunk = fmt.Errorf("fast capacity shrunk mid-run: %w", ErrOOM)
+	// ErrReplanFailed wraps ErrPlanDiverged for online replans that could
+	// not produce a usable replacement plan: the divergence is real and
+	// stands unrecovered. errors.Is(err, ErrPlanDiverged) still holds, so
+	// divergence-aware callers behave unchanged. Surfaced only under
+	// WithFailHard; the default path degrades to demand-only mode.
+	ErrReplanFailed = fmt.Errorf("online replan failed: %w", ErrPlanDiverged)
 )
 
 // Migration retry budget and backoff cap shared by the prefetch and
@@ -99,14 +105,11 @@ type divMonitor struct {
 	fired      bool
 }
 
-// checkDivergence runs at each step's close. On divergence it either
-// degrades to demand-only mode (prefetch suppressed run-wide) or, under
-// WithFailHard, returns ErrPlanDiverged.
-func (rt *Runtime) checkDivergence(st *metrics.StepStats) error {
-	m := rt.div
-	if m == nil || m.fired {
-		return nil
-	}
+// flagged judges one step against the monitor's thresholds and updates
+// the best-step baseline. The returned detail is non-empty exactly when
+// the step is flagged. Both the static monitor (checkDivergence) and the
+// online controller's state machine run their evidence through here.
+func (m *divMonitor) flagged(st *metrics.StepStats) (bool, string) {
 	var reasons []byte
 	if st.Duration > 0 && m.cfg.StallFrac > 0 &&
 		float64(st.StallTime) > m.cfg.StallFrac*float64(st.Duration) {
@@ -122,7 +125,27 @@ func (rt *Runtime) checkDivergence(st *metrics.StepStats) error {
 	if m.bestDemand < 0 || st.DemandMigrations < m.bestDemand {
 		m.bestDemand = st.DemandMigrations
 	}
-	if len(reasons) == 0 {
+	return len(reasons) > 0, string(reasons)
+}
+
+// reset discards the monitor's accumulated evidence and baseline — called
+// after a plan swap, when the best step of the *old* plan would mis-flag
+// the new one.
+func (m *divMonitor) reset() {
+	m.bestDemand = -1
+	m.bad = 0
+}
+
+// checkDivergence runs at each step's close. On divergence it either
+// degrades to demand-only mode (prefetch suppressed run-wide) or, under
+// WithFailHard, returns ErrPlanDiverged.
+func (rt *Runtime) checkDivergence(st *metrics.StepStats) error {
+	m := rt.div
+	if m == nil || m.fired {
+		return nil
+	}
+	bad, detail := m.flagged(st)
+	if !bad {
 		m.bad = 0
 		return nil
 	}
@@ -133,7 +156,6 @@ func (rt *Runtime) checkDivergence(st *metrics.StepStats) error {
 	m.fired = true
 	st.Diverged = true
 	rt.run.Diverged = true
-	detail := string(reasons)
 	rt.emit(trace.Event{At: rt.now, Kind: trace.KPlanDiverged, Tensor: trace.NoTensor, Name: detail})
 	if rt.failHard {
 		return fmt.Errorf("%w: %s", ErrPlanDiverged, detail)

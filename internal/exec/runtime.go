@@ -58,6 +58,9 @@ type Runtime struct {
 	// div is the plan-divergence monitor (WithDivergence, or armed by
 	// WithChaos with defaults); nil disables the check.
 	div *divMonitor
+	// ctl is the online adaptive controller (WithOnline); when armed it
+	// supersedes the static divergence monitor.
+	ctl *onlineController
 	// failHard surfaces degradation as typed errors instead of falling
 	// back (WithFailHard).
 	failHard bool
@@ -115,7 +118,7 @@ func NewRuntime(g *graph.Graph, spec memsys.Spec, p Policy, opts ...Option) (*Ru
 		k.InChannel().Derate(f)
 		k.OutChannel().Derate(f)
 	}
-	if rt.chaos != nil && rt.div == nil {
+	if rt.chaos != nil && rt.div == nil && rt.ctl == nil {
 		rt.div = &divMonitor{cfg: DefaultDivergence(), bestDemand: -1}
 	}
 	rt.wireTrace()
@@ -347,7 +350,12 @@ func (rt *Runtime) RunStep() (*metrics.StepStats, error) {
 	// StepEnd may stall (e.g. draining migrations); fold that in.
 	st.Duration = rt.now.Sub(stepStart)
 	rt.emit(trace.Event{At: stepStart, Dur: st.Duration, Kind: trace.KStep, Tensor: trace.NoTensor})
-	if err := rt.checkDivergence(st); err != nil {
+	if rt.ctl != nil {
+		if err := rt.controllerStep(st); err != nil {
+			rt.st = nil
+			return nil, fmt.Errorf("step %d: %w", step, err)
+		}
+	} else if err := rt.checkDivergence(st); err != nil {
 		rt.st = nil
 		return nil, fmt.Errorf("step %d: %w", step, err)
 	}

@@ -40,6 +40,12 @@ func (rt *Runtime) wireTrace() {
 // emit forwards an event to the run's sink; a nil sink discards it.
 func (rt *Runtime) emit(e trace.Event) { rt.sink.Emit(e) }
 
+// Emit forwards an event to the run's sink (nil-safe). Policy-layer
+// subsystems with their own event kinds — the online sampler and the
+// incremental replanner — emit through here so their events carry the
+// run label and step/layer context like engine events.
+func (rt *Runtime) Emit(e trace.Event) { rt.sink.Emit(e) }
+
 // noteAccess records demand traffic served by one tier: it feeds both the
 // event bus and the per-step bandwidth trace, which consumes the same
 // unified event.

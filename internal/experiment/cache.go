@@ -153,9 +153,10 @@ type cellRun struct {
 	spec   memsys.Spec
 	policy string
 	steps  int
-	mil    int              // ForceMIL for the sentinel policy; 0 = model-chosen
-	trace  simtime.Duration // bandwidth-trace bucket width; 0 = off
-	chaos  chaos.Config     // fault injection; zero = clean run
+	mil    int               // ForceMIL for the sentinel policy; 0 = model-chosen
+	trace  simtime.Duration  // bandwidth-trace bucket width; 0 = off
+	chaos  chaos.Config      // fault injection; zero = clean run
+	online exec.OnlineConfig // adaptive controller; zero = static plan
 }
 
 // key canonicalizes the cell for memoization. Capacity enters through the
@@ -169,6 +170,12 @@ func (c cellRun) key() string {
 	// nothing, so clean cells keep their pre-chaos keys.
 	if ck := c.chaos.Key(); ck != "" {
 		k += "|" + ck
+	}
+	// Likewise the online controller: static cells keep their keys, online
+	// cells are qualified so a shared cache never serves a static result
+	// for an adaptive run (or vice versa).
+	if ok := c.online.Key(); ok != "" {
+		k += "|" + ok
 	}
 	return k
 }
@@ -184,6 +191,9 @@ func (c cellRun) label() string {
 	}
 	if ck := c.chaos.Key(); ck != "" {
 		l += "/" + ck
+	}
+	if c.online.Enabled {
+		l += "/online"
 	}
 	return l
 }
@@ -203,6 +213,9 @@ func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 	}
 	if c.chaos.Enabled() {
 		opts = append(opts, exec.WithChaos(chaos.New(c.chaos)))
+	}
+	if c.online.Enabled {
+		opts = append(opts, exec.WithOnline(c.online))
 	}
 	if c.mil > 0 {
 		cfg := core.DefaultConfig()
@@ -225,6 +238,9 @@ func (c cellRun) execute(bus *trace.Bus) (*metrics.RunStats, error) {
 func (o Options) run(c cellRun) (*metrics.RunStats, error) {
 	if !c.chaos.Enabled() && o.Chaos.Enabled() {
 		c.chaos = o.Chaos
+	}
+	if !c.online.Enabled && o.Online.Enabled {
+		c.online = o.Online
 	}
 	key := c.key()
 	return cacheDo(o, key, func() (*metrics.RunStats, error) {

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestOnlineRecovery pins the headline claim of the online controller:
+// under fault injection, adaptive runs win back at least half of the
+// static-degraded-vs-clean slowdown on at least two ladder rungs, at
+// least one rung recovers through a genuine mid-run replan (not just by
+// declining to fall back), and every online run finishes with strictly
+// less demand traffic than its static-degraded twin. Two back-to-back
+// runs must render byte-identically.
+func TestOnlineRecovery(t *testing.T) {
+	render := func() *Table {
+		tbl, err := Run("online-robustness", Options{Steps: onlineSteps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+	a, b := render(), render()
+	if a.String() != b.String() {
+		t.Fatalf("two seeded online sweeps differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+
+	// Columns: fault, clean, static, online, gap recovered, replans,
+	// recovered steps, demand static/online.
+	halved, replanned := 0, 0
+	for _, row := range a.Rows {
+		if len(row) != len(a.Header) {
+			t.Fatalf("row %q has %d cells, want %d", row[0], len(row), len(a.Header))
+		}
+		rec := strings.TrimSuffix(row[4], "%")
+		if rec != "n/a" {
+			pct, err := strconv.ParseFloat(rec, 64)
+			if err != nil {
+				t.Fatalf("row %q: bad gap-recovered cell %q: %v", row[0], row[4], err)
+			}
+			if pct >= 50 {
+				halved++
+			}
+		}
+		replans, err := strconv.Atoi(row[5])
+		if err != nil {
+			t.Fatalf("row %q: bad replans cell %q: %v", row[0], row[5], err)
+		}
+		recovered, err := strconv.Atoi(row[6])
+		if err != nil {
+			t.Fatalf("row %q: bad recovered-steps cell %q: %v", row[0], row[6], err)
+		}
+		if replans > 0 && recovered > 0 {
+			replanned++
+		}
+		demand := strings.SplitN(row[7], "/", 2)
+		if len(demand) != 2 {
+			t.Fatalf("row %q: bad demand cell %q", row[0], row[7])
+		}
+		ds, err1 := strconv.Atoi(strings.TrimSpace(demand[0]))
+		do, err2 := strconv.Atoi(strings.TrimSpace(demand[1]))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %q: bad demand cell %q", row[0], row[7])
+		}
+		if do >= ds {
+			t.Errorf("row %q: online demand migrations %d not below static %d", row[0], do, ds)
+		}
+	}
+	if halved < 2 {
+		t.Errorf("only %d rungs recovered >= 50%% of the gap, want >= 2:\n%s", halved, a)
+	}
+	if replanned < 1 {
+		t.Errorf("no rung recovered via a mid-run replan (replans > 0 and recovered steps > 0):\n%s", a)
+	}
+}

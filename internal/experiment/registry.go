@@ -10,32 +10,33 @@ type Func func(Options) (*Table, error)
 
 // registry maps experiment ids to runners.
 var registry = map[string]Func{
-	"characterization": Characterization,
-	"table1":           Table1,
-	"table2":           Table2,
-	"fig5":             Fig5,
-	"fig7":             Fig7,
-	"fig8":             Fig8,
-	"fig9":             Fig9,
-	"fig10":            Fig10,
-	"fig11":            Fig11,
-	"fig12":            Fig12,
-	"fig13":            Fig13,
-	"fig9series":       Fig9Series,
-	"fig12-a100":       Fig12A100,
-	"fig7-extended":    Fig7Extended,
-	"fig7-cxl":         Fig7CXL,
-	"table3":           Table3,
-	"table4":           Table4,
-	"table5":           Table5,
-	"robustness":       Robustness,
+	"characterization":  Characterization,
+	"table1":            Table1,
+	"table2":            Table2,
+	"fig5":              Fig5,
+	"fig7":              Fig7,
+	"fig8":              Fig8,
+	"fig9":              Fig9,
+	"fig10":             Fig10,
+	"fig11":             Fig11,
+	"fig12":             Fig12,
+	"fig13":             Fig13,
+	"fig9series":        Fig9Series,
+	"fig12-a100":        Fig12A100,
+	"fig7-extended":     Fig7Extended,
+	"fig7-cxl":          Fig7CXL,
+	"table3":            Table3,
+	"table4":            Table4,
+	"table5":            Table5,
+	"robustness":        Robustness,
+	"online-robustness": OnlineRobustness,
 }
 
 // order is the presentation order for "all".
 var order = []string{
 	"table1", "table2", "characterization", "fig5", "fig7", "fig8", "fig9",
 	"fig10", "fig11", "table3", "table4", "fig12", "fig13", "table5",
-	"robustness",
+	"robustness", "online-robustness",
 }
 
 // extras are runnable but not part of "all" (raw data dumps).

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"sentinel/internal/chaos"
+	"sentinel/internal/exec"
 	"sentinel/internal/memsys"
 	"sentinel/internal/metrics"
 	"sentinel/internal/model"
@@ -108,6 +110,15 @@ type CellRequest struct {
 	FastBytes int64 `json:"fast_bytes,omitempty"`
 	// Steps is the number of training steps; 0 means the default (5).
 	Steps int `json:"steps,omitempty"`
+	// Chaos injects faults into the cell (the -chaos-* flags; see
+	// docs/ROBUSTNESS.md). Omitted or zero means a clean run. Perturbed
+	// cells are cached under chaos-qualified keys.
+	Chaos *chaos.Config `json:"chaos,omitempty"`
+	// Online arms the adaptive controller with its default hysteresis
+	// (the -online flag; see the online controller section of
+	// docs/ROBUSTNESS.md). Adaptive cells are cached under
+	// online-qualified keys.
+	Online bool `json:"online,omitempty"`
 }
 
 // Normalized fills defaults: optane platform, 5 steps.
@@ -155,6 +166,11 @@ func (r CellRequest) Validate() error {
 	if r.Steps < 1 || r.Steps > 1000 {
 		return badField("steps", "must be in [1, 1000], got %d", r.Steps)
 	}
+	if r.Chaos != nil {
+		if err := r.Chaos.Validate(); err != nil {
+			return badField("chaos", "%v", err)
+		}
+	}
 	return nil
 }
 
@@ -194,6 +210,12 @@ func RunCell(o Options, r CellRequest) (*metrics.RunStats, error) {
 		return nil, err
 	}
 	c := cellRun{model: r.Model, batch: r.Batch, spec: spec, policy: r.Policy, steps: r.Steps}
+	if r.Chaos != nil {
+		c.chaos = *r.Chaos
+	}
+	if r.Online {
+		c.online = exec.DefaultOnline()
+	}
 	return runCell(o, func(int) (*metrics.RunStats, error) { return o.run(c) }, 0)
 }
 

@@ -344,6 +344,17 @@ func (k *Kernel) Poison(first, last PageID) {
 	k.forRange(first, last, func(r *run) { r.poisoned = true })
 }
 
+// ClearPoison clears the poison bit on every mapped page. The initial
+// profiling step leaves its bits set (only fault *accounting* is switched
+// off afterwards, as in the real kernel patch); sampled online
+// re-profiling clears everything first so that only its deterministic
+// sample faults, and clears again when the round finishes.
+func (k *Kernel) ClearPoison() {
+	for i := range k.runs {
+		k.runs[i].poisoned = false
+	}
+}
+
 // Touch records main-memory accesses to [addr, addr+size): it drives the
 // touch hook, and during profiling it takes one protection fault per page
 // per access (the fault handler re-poisons, so every access faults). It

@@ -82,9 +82,20 @@ type RunStats struct {
 	Model  string
 	Batch  int
 	Steps  []*StepStats
-	// Diverged reports that the plan-divergence monitor fired at some
-	// step and the run finished degraded (demand-only mode).
+	// Diverged reports that the run fell back to demand-only mode: the
+	// plan-divergence monitor fired (static mode), or the online
+	// controller exhausted its recovery options (online mode).
 	Diverged bool
+	// Replans counts migration-plan rebuilds performed by the online
+	// controller (always 0 in static mode).
+	Replans int
+	// RecoveredSteps counts steps executed in the online controller's
+	// recovered state — running on a replacement plan after a divergence.
+	RecoveredSteps int
+	// ControllerLog records the online controller's state transitions,
+	// one "step N: from->to: reason" line each, in order. Deterministic:
+	// two runs with identical seeds produce identical logs.
+	ControllerLog []string
 }
 
 // SteadyStep returns the last step, which policies have warmed up by;

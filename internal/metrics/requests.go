@@ -21,6 +21,32 @@ type RequestStats struct {
 	inFlight  atomic.Int64
 	latencyNS atomic.Int64
 	maxNS     atomic.Int64
+
+	// Adaptive-controller outcomes, aggregated over every simulated run
+	// this service has executed (ObserveRun). These are simulated-run
+	// facts, not host time, but they are already committed counts by the
+	// time a run returns — summing them here cannot leak wall-clock back
+	// into a simulation.
+	replans       atomic.Int64
+	recoveredRuns atomic.Int64
+	demandOnly    atomic.Int64
+}
+
+// ObserveRun folds one finished simulated run's controller outcomes into
+// the service-level counters: total mid-run replans, runs that recovered
+// at least one step after a plan swap, and runs that ended degraded to
+// demand-only paging.
+func (s *RequestStats) ObserveRun(r *RunStats) {
+	if r == nil {
+		return
+	}
+	s.replans.Add(int64(r.Replans))
+	if r.RecoveredSteps > 0 {
+		s.recoveredRuns.Add(1)
+	}
+	if r.Diverged {
+		s.demandOnly.Add(1)
+	}
 }
 
 // Reject counts one request turned away by admission control.
@@ -68,18 +94,25 @@ type RequestSnapshot struct {
 	// LatencyTotal sums host wall-clock latency over finished requests;
 	// LatencyMax is the slowest single request.
 	LatencyTotal, LatencyMax time.Duration
+	// Replans totals the adaptive controller's mid-run plan rebuilds;
+	// RecoveredRuns counts runs that recovered after a plan swap;
+	// DemandOnlyRuns counts runs that ended degraded to demand paging.
+	Replans, RecoveredRuns, DemandOnlyRuns int64
 }
 
 // Snapshot returns a point-in-time copy of the counters.
 func (s *RequestStats) Snapshot() RequestSnapshot {
 	return RequestSnapshot{
-		Accepted:     s.accepted.Load(),
-		Rejected:     s.rejected.Load(),
-		Completed:    s.completed.Load(),
-		Failed:       s.failed.Load(),
-		InFlight:     s.inFlight.Load(),
-		LatencyTotal: time.Duration(s.latencyNS.Load()),
-		LatencyMax:   time.Duration(s.maxNS.Load()),
+		Accepted:       s.accepted.Load(),
+		Rejected:       s.rejected.Load(),
+		Completed:      s.completed.Load(),
+		Failed:         s.failed.Load(),
+		InFlight:       s.inFlight.Load(),
+		LatencyTotal:   time.Duration(s.latencyNS.Load()),
+		LatencyMax:     time.Duration(s.maxNS.Load()),
+		Replans:        s.replans.Load(),
+		RecoveredRuns:  s.recoveredRuns.Load(),
+		DemandOnlyRuns: s.demandOnly.Load(),
 	}
 }
 

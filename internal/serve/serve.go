@@ -363,6 +363,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sentinel_plan_cache_resume_hits_total", cs.ResumeHits},
 		{"sentinel_sweep_cells_done_total", done},
 		{"sentinel_sweep_cells_scheduled_total", total},
+		{"sentinel_controller_replans_total", rq.Replans},
+		{"sentinel_controller_recovered_runs_total", rq.RecoveredRuns},
+		{"sentinel_controller_demand_only_total", rq.DemandOnlyRuns},
 	} {
 		switch v := m.value.(type) {
 		case float64:
@@ -416,6 +419,10 @@ type runSummary struct {
 	DemandMigrations int64 `json:"demand_migrations"`
 	// Diverged reports the run finished degraded (demand-only mode).
 	Diverged bool `json:"diverged,omitempty"`
+	// Replans and RecoveredSteps report the adaptive controller's
+	// outcomes when the cell ran with online: true.
+	Replans        int `json:"replans,omitempty"`
+	RecoveredSteps int `json:"recovered_steps,omitempty"`
 }
 
 // simulateRequest is a CellRequest plus serving-only knobs.
@@ -456,6 +463,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
+	s.reqs.ObserveRun(run)
 	if req.TraceFormat != "" {
 		if req.TraceFormat == trace.FormatChrome {
 			w.Header().Set("Content-Type", "application/json")
@@ -467,11 +475,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	st := run.SteadyStep()
 	sum := runSummary{
 		Model: run.Model, Batch: run.Batch, Policy: run.Policy,
-		Platform:     req.Normalized().Platform,
-		Steps:        len(run.Steps),
-		SteadyStepNS: int64(run.SteadyStepTime()),
-		TotalNS:      int64(run.TotalTime()),
-		Diverged:     run.Diverged,
+		Platform:       req.Normalized().Platform,
+		Steps:          len(run.Steps),
+		SteadyStepNS:   int64(run.SteadyStepTime()),
+		TotalNS:        int64(run.TotalTime()),
+		Diverged:       run.Diverged,
+		Replans:        run.Replans,
+		RecoveredSteps: run.RecoveredSteps,
 	}
 	if sum.SteadyStepNS > 0 {
 		sum.ThroughputPerSec = run.Throughput()
@@ -605,6 +615,13 @@ func cellQuery(r *http.Request, req *simulateRequest) error {
 			return &experiment.RequestError{Field: "fast_bytes", Reason: fmt.Sprintf("not an integer: %q", v)}
 		}
 		req.FastBytes = n
+	}
+	if v := q.Get("online"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return &experiment.RequestError{Field: "online", Reason: fmt.Sprintf("not a boolean: %q", v)}
+		}
+		req.Online = b
 	}
 	return nil
 }

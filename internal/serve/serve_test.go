@@ -472,3 +472,79 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("draining server still reports ready:\n%s", body)
 	}
 }
+
+// metricValue extracts one `name value` line from a /metrics body.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == name {
+			var v float64
+			if _, err := fmt.Sscanf(f[1], "%g", &v); err != nil {
+				t.Fatalf("metric %s: unparseable value %q", name, f[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s missing from /metrics body:\n%s", name, body)
+	return 0
+}
+
+// TestControllerMetrics drives one static-degraded and one adaptive
+// simulate request through the service and checks that the controller
+// counters the responses report are the ones /metrics aggregates.
+func TestControllerMetrics(t *testing.T) {
+	s := New(Config{})
+	h := s.Handler()
+	// A capacity shrink on the constrained GPU platform: the static run
+	// diverges to demand-only paging; the adaptive run gets the -online
+	// defaults and reports whatever the controller managed.
+	const chaosCell = `{"model":"resnet32","batch":128,"policy":"sentinel-gpu","platform":"gpu",` +
+		`"fast_pct":20,"steps":12,"chaos":{"seed":42,"shrink_at_step":1,"shrink_frac":0.25}`
+
+	var static struct {
+		Diverged bool `json:"diverged"`
+		Replans  int  `json:"replans"`
+	}
+	if w := doJSON(t, h, http.MethodPost, "/v1/simulate", chaosCell+"}", &static); w.Code != http.StatusOK {
+		t.Fatalf("static cell: %d %s", w.Code, w.Body.String())
+	}
+	if !static.Diverged || static.Replans != 0 {
+		t.Fatalf("static degraded cell should diverge without replans, got %+v", static)
+	}
+	var online struct {
+		Diverged       bool `json:"diverged"`
+		Replans        int  `json:"replans"`
+		RecoveredSteps int  `json:"recovered_steps"`
+	}
+	if w := doJSON(t, h, http.MethodPost, "/v1/simulate", chaosCell+`,"online":true}`, &online); w.Code != http.StatusOK {
+		t.Fatalf("online cell: %d %s", w.Code, w.Body.String())
+	}
+	if online.Replans == 0 && !online.Diverged {
+		t.Fatalf("online cell under a capacity shrink neither replanned nor degraded: %+v", online)
+	}
+
+	body := doJSON(t, h, http.MethodGet, "/metrics", "", nil).Body.String()
+	wantDemandOnly := 1.0 // the static cell
+	if online.Diverged {
+		wantDemandOnly++
+	}
+	wantRecovered := 0.0
+	if online.RecoveredSteps > 0 {
+		wantRecovered = 1
+	}
+	if got := metricValue(t, body, "sentinel_controller_replans_total"); got != float64(online.Replans) {
+		t.Errorf("sentinel_controller_replans_total = %g, want %d", got, online.Replans)
+	}
+	if got := metricValue(t, body, "sentinel_controller_recovered_runs_total"); got != wantRecovered {
+		t.Errorf("sentinel_controller_recovered_runs_total = %g, want %g", got, wantRecovered)
+	}
+	if got := metricValue(t, body, "sentinel_controller_demand_only_total"); got != wantDemandOnly {
+		t.Errorf("sentinel_controller_demand_only_total = %g, want %g", got, wantDemandOnly)
+	}
+	rq := s.RequestStats()
+	if rq.Replans != int64(online.Replans) || rq.DemandOnlyRuns != int64(wantDemandOnly) {
+		t.Errorf("RequestStats snapshot %+v disagrees with responses (replans %d, demand-only %g)",
+			rq, online.Replans, wantDemandOnly)
+	}
+}

@@ -179,6 +179,21 @@ func WriteChrome(w io.Writer, events []Event) error {
 		case KCapShrink:
 			instant(e, tidAllocator, "capacity-shrink",
 				map[string]any{"bytes": e.Bytes, "step": e.Step})
+		case KReprofileArm:
+			instant(e, tidCompute, "reprofile-arm: "+e.Name,
+				map[string]any{"round": e.Name, "tensors": e.Count, "poisoned_bytes": e.Bytes, "step": e.Step})
+		case KReprofileSample:
+			instant(e, tidCompute, "reprofile-sample: "+e.Name,
+				map[string]any{"tensor": e.Name, "tensor_id": int64(e.Tensor), "accesses_per_step": e.Count, "bytes": e.Bytes, "step": e.Step})
+		case KReplan:
+			instant(e, tidCompute, "replan",
+				map[string]any{"detail": e.Name, "round": e.Count, "step": e.Step})
+		case KPlanSwap:
+			instant(e, tidMigrateIn, "plan-swap",
+				map[string]any{"plan": e.Name, "round": e.Count, "delta_bytes": e.Bytes, "step": e.Step})
+		case KCtlTransition:
+			instant(e, tidCompute, "controller: "+e.Name,
+				map[string]any{"transition": e.Name, "state": e.Count, "step": e.Step})
 		case KCellPanic:
 			instant(e, tidCompute, "cell-panic: "+e.Name,
 				map[string]any{"cell": e.Name})

@@ -88,6 +88,24 @@ const (
 	// KCapShrink records the fast tier losing capacity mid-run, e.g.
 	// injected co-tenant pressure (internal/exec).
 	KCapShrink Kind = "capacity-shrink"
+	// KReprofileArm records sampled online re-profiling being armed: a
+	// deterministic subset of long-lived tensors is re-poisoned and fault
+	// accounting switches back on (internal/profile, online mode).
+	KReprofileArm Kind = "reprofile-arm"
+	// KReprofileSample records one sampled tensor's observed access count
+	// when a re-profiling round finishes (internal/profile, online mode).
+	KReprofileSample Kind = "reprofile-sample"
+	// KReplan records the online controller deciding to rebuild the
+	// migration plan from blended access counts (internal/exec, online
+	// mode).
+	KReplan Kind = "replan"
+	// KPlanSwap records the rebuilt migration plan being hot-swapped in
+	// at a step boundary; live placements are reused, so only the delta
+	// migrates (internal/core, online mode).
+	KPlanSwap Kind = "plan-swap"
+	// KCtlTransition records one transition of the online controller's
+	// state machine (internal/exec, online mode).
+	KCtlTransition Kind = "controller-transition"
 	// KCellPanic records the experiment runner quarantining a sweep cell
 	// whose simulation panicked; the cell's result is excluded and the
 	// rest of the sweep continues (internal/experiment).
@@ -108,7 +126,8 @@ func Kinds() []Kind {
 		KStep, KLayer, KAlloc, KFree, KStall, KDemand, KOOMRetry,
 		KAccess, KMigrateIn, KMigrateOut, KFault, KArenaGrow,
 		KArenaReclaim, KPlace, KMigrateRetry, KDegrade, KPlanDiverged,
-		KCapShrink, KCellPanic, KCellTimeout, KSweepCancel,
+		KCapShrink, KReprofileArm, KReprofileSample, KReplan, KPlanSwap,
+		KCtlTransition, KCellPanic, KCellTimeout, KSweepCancel,
 	}
 }
 
@@ -254,6 +273,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("%12v step=%d layer=%d plan-diverged %s", t, e.Step, e.Layer, name)
 	case KCapShrink:
 		return fmt.Sprintf("%12v step=%d layer=%d capacity-shrink -%s", t, e.Step, e.Layer, simtime.Bytes(e.Bytes))
+	case KReprofileArm:
+		return fmt.Sprintf("%12v step=%d layer=%d reprofile-arm %s: %d tensors (%s poisoned)", t, e.Step, e.Layer, name, e.Count, simtime.Bytes(e.Bytes))
+	case KReprofileSample:
+		return fmt.Sprintf("%12v step=%d layer=%d reprofile-sample %s: %d accesses/step (%s)", t, e.Step, e.Layer, name, e.Count, simtime.Bytes(e.Bytes))
+	case KReplan:
+		return fmt.Sprintf("%12v step=%d layer=%d replan round %d: %s", t, e.Step, e.Layer, e.Count, name)
+	case KPlanSwap:
+		return fmt.Sprintf("%12v step=%d layer=%d plan-swap round %d: %s (%s delta)", t, e.Step, e.Layer, e.Count, name, simtime.Bytes(e.Bytes))
+	case KCtlTransition:
+		return fmt.Sprintf("%12v step=%d layer=%d controller-transition %s", t, e.Step, e.Layer, name)
 	case KCellPanic:
 		return fmt.Sprintf("%12v cell-panic %s (cell quarantined)", t, name)
 	case KCellTimeout:
