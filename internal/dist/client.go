@@ -1,0 +1,219 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is the shared HTTP client for every coordinator→worker call:
+// JSON in/out, bounded retries on transport errors and backpressure
+// responses (429/503), honoring the server's Retry-After hint, with
+// capped exponential backoff stretched by deterministic seeded jitter.
+// The jitter is a pure function of (Seed, attempt) — no clock, no
+// global randomness — so a backoff schedule is reproducible in tests
+// and across coordinator restarts.
+type Client struct {
+	// HTTP is the transport; nil defaults to http.DefaultClient.
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts per call (beyond the first);
+	// 0 defaults to 3, negative disables retries.
+	MaxRetries int
+	// Backoff and BackoffCap shape the retry delay: attempt n waits
+	// min(Backoff<<n, BackoffCap) stretched by jitter, or the server's
+	// Retry-After when larger (still capped). Defaults: 100ms base,
+	// 5s cap.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Seed feeds the deterministic jitter.
+	Seed int64
+	// Sleep is the retry sleeper, injectable for deterministic tests;
+	// nil means a real context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(ctx, d)
+		return
+	}
+	sleepCtx(ctx, d)
+}
+
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// jitterFrac maps (seed, attempt) to a deterministic fraction in
+// [0, 1): FNV-1a over the pair, scaled. Stateless on purpose — retries
+// across goroutines never contend, and a test can precompute the exact
+// schedule.
+func jitterFrac(seed int64, attempt int) float64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+		buf[8+i] = byte(int64(attempt) >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// backoffDelay is the capped-exponential-plus-jitter schedule: attempt
+// n (0-based) waits between 50% and 100% of min(base<<n, cap), the
+// fraction chosen by jitterFrac. A server Retry-After hint raises the
+// delay (never below what the server asked) but stays capped.
+func backoffDelay(base, ceil time.Duration, seed int64, attempt int, retryAfter time.Duration) time.Duration {
+	d := base << attempt
+	if d > ceil || d <= 0 { // d <= 0 catches shift overflow
+		d = ceil
+	}
+	d = d/2 + time.Duration(jitterFrac(seed, attempt)*float64(d/2))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}
+
+// retryAfterHint parses a response's Retry-After header (delta-seconds
+// form only; the HTTP-date form would need a wall clock and every
+// server in this system sends seconds).
+func retryAfterHint(resp *http.Response) time.Duration {
+	if resp == nil {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// StatusError is a non-2xx response that was not retried away: the
+// status code and a snippet of the body (the serve layer's typed JSON
+// error, when the peer is sentinel-serve).
+type StatusError struct {
+	Status int
+	Body   string
+}
+
+func (e *StatusError) Error() string {
+	if e.Body == "" {
+		return fmt.Sprintf("http %d", e.Status)
+	}
+	return fmt.Sprintf("http %d: %s", e.Status, e.Body)
+}
+
+// retryable reports whether a response status is worth retrying: the
+// two backpressure statuses every worker in this system emits.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// DoJSON performs one JSON request/response exchange with the retry
+// policy: in (when non-nil) is marshaled once and re-sent per attempt,
+// out (when non-nil) receives the decoded 2xx body. Transport errors
+// and 429/503 responses retry up to MaxRetries times; other non-2xx
+// statuses return a *StatusError immediately.
+func (c *Client) DoJSON(ctx context.Context, method, url string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("dist client: encoding %s %s: %w", method, url, err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("dist client: %s %s: %w (last failure: %v)", method, url, err, lastErr)
+			}
+			return fmt.Errorf("dist client: %s %s: %w", method, url, err)
+		}
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, body)
+		if err != nil {
+			return fmt.Errorf("dist client: %s %s: %w", method, url, err)
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http().Do(req)
+		var hint time.Duration
+		switch {
+		case err != nil:
+			lastErr = err
+		case retryable(resp.StatusCode):
+			hint = retryAfterHint(resp)
+			lastErr = readStatusError(resp)
+		case resp.StatusCode < 200 || resp.StatusCode > 299:
+			return fmt.Errorf("dist client: %s %s: %w", method, url, readStatusError(resp))
+		default:
+			defer resp.Body.Close()
+			if out == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive only
+				return nil
+			}
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				return fmt.Errorf("dist client: decoding %s %s response: %w", method, url, err)
+			}
+			return nil
+		}
+		if attempt >= c.maxRetries() {
+			return fmt.Errorf("dist client: %s %s: %d attempt(s) failed: %w", method, url, attempt+1, lastErr)
+		}
+		base, ceil := c.Backoff, c.BackoffCap
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		if ceil <= 0 {
+			ceil = 5 * time.Second
+		}
+		c.sleep(ctx, backoffDelay(base, ceil, c.Seed, attempt, hint))
+	}
+}
+
+// readStatusError drains a failed response into a *StatusError,
+// trimming the body to a log-friendly snippet.
+func readStatusError(resp *http.Response) error {
+	defer resp.Body.Close()
+	snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive only
+	return &StatusError{Status: resp.StatusCode, Body: string(bytes.TrimSpace(snippet))}
+}

@@ -1,0 +1,178 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJitterFracDeterministicAndBounded(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for attempt := 0; attempt < 20; attempt++ {
+			f := jitterFrac(seed, attempt)
+			if f < 0 || f >= 1 {
+				t.Fatalf("jitterFrac(%d, %d) = %v, out of [0,1)", seed, attempt, f)
+			}
+			if again := jitterFrac(seed, attempt); again != f {
+				t.Fatalf("jitterFrac(%d, %d) nondeterministic", seed, attempt)
+			}
+		}
+	}
+	if jitterFrac(1, 0) == jitterFrac(2, 0) && jitterFrac(1, 1) == jitterFrac(2, 1) {
+		t.Fatal("jitter ignores the seed")
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	base, ceil := 100*time.Millisecond, 2*time.Second
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 12; attempt++ {
+		d := backoffDelay(base, ceil, 7, attempt, 0)
+		// Exponential envelope: between 50% and 100% of min(base<<n, cap).
+		envelope := base << attempt
+		if envelope > ceil || envelope <= 0 {
+			envelope = ceil
+		}
+		if d < envelope/2 || d > envelope {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, envelope/2, envelope)
+		}
+		if d > ceil {
+			t.Fatalf("attempt %d: delay %v exceeds cap %v", attempt, d, ceil)
+		}
+		if envelope == ceil && prevCeil != 0 {
+			// Once capped, the schedule stays capped (no overflow wrap).
+			if d < ceil/2 {
+				t.Fatalf("attempt %d: capped delay %v fell below %v", attempt, d, ceil/2)
+			}
+		} else {
+			prevCeil = envelope
+		}
+		if again := backoffDelay(base, ceil, 7, attempt, 0); again != d {
+			t.Fatalf("attempt %d: schedule nondeterministic", attempt)
+		}
+	}
+	// Retry-After raises the delay but never past the cap.
+	if d := backoffDelay(base, ceil, 7, 0, time.Second); d != time.Second {
+		t.Fatalf("Retry-After 1s on a ~100ms attempt: delay %v, want 1s", d)
+	}
+	if d := backoffDelay(base, ceil, 7, 0, time.Minute); d != ceil {
+		t.Fatalf("Retry-After 1m: delay %v, want cap %v", d, ceil)
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"lease":"lease-1","state":"running","offset":0}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Backoff: 10 * time.Millisecond, BackoffCap: 5 * time.Second, Seed: 42,
+		Sleep: func(ctx context.Context, d time.Duration) { slept = append(slept, d) },
+	}
+	var st ShardStatus
+	if err := c.DoJSON(context.Background(), "GET", srv.URL, nil, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Lease != "lease-1" {
+		t.Fatalf("decoded %+v", st)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3", calls.Load())
+	}
+	// Both backoffs must honor the server's 2s hint exactly (hint >
+	// jittered exponential, hint < cap ⇒ delay == hint), and the
+	// schedule must match the pure function — deterministically.
+	want := []time.Duration{
+		backoffDelay(10*time.Millisecond, 5*time.Second, 42, 0, 2*time.Second),
+		backoffDelay(10*time.Millisecond, 5*time.Second, 42, 1, 2*time.Second),
+	}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	if slept[0] != 2*time.Second {
+		t.Fatalf("Retry-After not honored: slept %v, want 2s", slept[0])
+	}
+}
+
+func TestClientRetriesExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := &Client{MaxRetries: 2, Sleep: func(ctx context.Context, d time.Duration) {}}
+	err := c.DoJSON(context.Background(), "GET", srv.URL, nil, nil)
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
+		t.Fatalf("error does not carry the status: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"invalid_request","message":"bad shard"}}`))
+	}))
+	defer srv.Close()
+
+	c := &Client{Sleep: func(ctx context.Context, d time.Duration) { t.Fatal("slept on a non-retryable status") }}
+	err := c.DoJSON(context.Background(), "POST", srv.URL, ShardRequest{Shards: 1}, nil)
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err %v after %d call(s); want immediate failure", err, calls.Load())
+	}
+	if !strings.Contains(err.Error(), "bad shard") {
+		t.Fatalf("error lost the body snippet: %v", err)
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // refuse every connection
+
+	var slept int
+	c := &Client{MaxRetries: 1, Sleep: func(ctx context.Context, d time.Duration) { slept++ }}
+	err := c.DoJSON(context.Background(), "GET", srv.URL, nil, nil)
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if slept != 1 {
+		t.Fatalf("slept %d time(s), want 1 retry backoff", slept)
+	}
+}
+
+func TestClientStopsOnContextCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{MaxRetries: 100, Sleep: func(ctx context.Context, d time.Duration) { cancel() }}
+	err := c.DoJSON(ctx, "GET", srv.URL, nil, nil)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,421 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sentinel/internal/experiment"
+	"sentinel/internal/metrics"
+	"sentinel/internal/simtime"
+	"sentinel/internal/trace"
+)
+
+// Sentinel errors for lease losses; outcome errors wrap these so tests
+// and logs can tell a crash from a hang.
+var (
+	// ErrLeaseExpired marks a lease lost to a missing heartbeat: the
+	// worker crashed, hung without progress, or partitioned away.
+	ErrLeaseExpired = errors.New("lease expired")
+	// ErrShardTimeout marks an attempt that outlived the per-shard
+	// wall-clock bound and was abandoned.
+	ErrShardTimeout = errors.New("shard attempt timed out")
+)
+
+// ShardResult is one shard's final account.
+type ShardResult struct {
+	// Shard is the hash-partition index.
+	Shard int
+	// State is StateCompleted or StateQuarantined after Run returns.
+	State State
+	// Attempts is how many leases the shard consumed.
+	Attempts int
+	// Cells is how many cells the shard journaled (the salvage count
+	// for quarantined shards).
+	Cells int
+	// Journals holds every salvaged journal image, oldest first. Later
+	// images supersede earlier ones (each attempt resumes from its
+	// predecessor's salvage), but all are merged — Cache.Seed's
+	// first-write-wins makes the overlap deterministic and harmless.
+	Journals [][]byte
+	// Err is the last lease-loss cause, "" for cleanly completed shards.
+	Err string
+}
+
+// Result is a finished coordination run.
+type Result struct {
+	// Shards has one entry per shard, in shard order.
+	Shards []ShardResult
+	// Quarantined marks shards whose retries were exhausted — the
+	// merge-mode ShardPlan renders their missing cells as placeholders.
+	Quarantined map[int]bool
+	// Stats snapshots the coordination counters at completion.
+	Stats metrics.DistSnapshot
+}
+
+// Plan is the merge-mode shard plan for rendering this result's tables:
+// all shards admitted, quarantined ones rendered as placeholders.
+func (r *Result) Plan(shards int) experiment.ShardPlan {
+	return experiment.ShardPlan{Count: shards, Index: -1, Quarantined: r.Quarantined}
+}
+
+// MergeInto seeds c with every salvaged journal, in deterministic
+// (shard, then attempt) order. An image that is not a journal at all —
+// a worker that returned garbage — counts as one skip; within valid
+// images, corrupt records count individually, exactly as Replay would.
+func (r *Result) MergeInto(c *experiment.Cache) (restored, skipped int) {
+	for _, sr := range r.Shards {
+		for _, img := range sr.Journals {
+			if len(img) == 0 {
+				continue
+			}
+			n, s, err := experiment.MergeJournal(c, img)
+			if err != nil {
+				skipped++
+				continue
+			}
+			restored += n
+			skipped += s
+		}
+	}
+	return restored, skipped
+}
+
+// Coordinator drives one distributed sweep: shard the cell space, lease
+// shards to workers, supervise, retry, merge. Build with New, run once
+// with Run.
+type Coordinator struct {
+	cfg     Config
+	workers []Worker
+}
+
+// New validates the fleet and resolves config defaults.
+func New(cfg Config, workers []Worker) (*Coordinator, error) {
+	if len(workers) == 0 {
+		return nil, errors.New("dist: no workers")
+	}
+	names := map[string]bool{}
+	for _, w := range workers {
+		if w.Name() == "" {
+			return nil, errors.New("dist: worker with empty name")
+		}
+		if names[w.Name()] {
+			return nil, fmt.Errorf("dist: duplicate worker name %q", w.Name())
+		}
+		names[w.Name()] = true
+	}
+	cfg = cfg.withDefaults(len(workers))
+	if len(cfg.Exps) == 0 {
+		return nil, errors.New("dist: no experiments to sweep")
+	}
+	return &Coordinator{cfg: cfg, workers: workers}, nil
+}
+
+// Shards reports the resolved shard count (the merge-mode plan needs
+// it).
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Log != nil {
+		fmt.Fprintf(c.cfg.Log, "dist: "+format+"\n", args...)
+	}
+}
+
+func (c *Coordinator) emit(e trace.Event) {
+	if c.cfg.Trace == nil {
+		return
+	}
+	e.Step, e.Layer, e.Tensor, e.Run = -1, -1, trace.NoTensor, "dist"
+	c.cfg.Trace.Emit(e)
+}
+
+func (c *Coordinator) sleep(ctx context.Context, d time.Duration) {
+	if c.cfg.Sleep != nil {
+		c.cfg.Sleep(ctx, d)
+		return
+	}
+	sleepCtx(ctx, d)
+}
+
+// slot is one worker's scheduling state: its consecutive-failure streak
+// decides retirement.
+type slot struct {
+	w        Worker
+	failures int
+}
+
+// outcome is one finished shard attempt.
+type outcome struct {
+	shard int
+	slot  *slot
+	st    AttemptStatus // last observed status (salvage lives here)
+	err   error         // nil on success
+	died  bool          // the worker itself died (crash/partition), not just the attempt
+}
+
+// Run executes the sweep to completion: every shard ends completed or
+// quarantined. It returns an error only for coordinator-level failures
+// (cancellation, an invalid state transition); worker failures degrade
+// into reassignment and, past MaxRetries, quarantine.
+func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
+	cfg := c.cfg
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := cfg.Shards
+	shards := make([]ShardResult, n)
+	states := make([]State, n)
+	pending := make([]int, 0, n)
+	for i := range shards {
+		shards[i] = ShardResult{Shard: i}
+		pending = append(pending, i)
+	}
+
+	free := make(chan *slot, len(c.workers))
+	for _, w := range c.workers {
+		free <- &slot{w: w}
+	}
+	alive := len(c.workers)
+
+	// Buffers sized so attempt and backoff goroutines can always
+	// deliver, even if Run returns early on cancellation.
+	results := make(chan outcome, n)
+	requeue := make(chan int, n)
+	running, finished := 0, 0
+
+	shardName := func(i int) string { return fmt.Sprintf("shard %d/%d", i, n) }
+
+	launch := func(s *slot, sh int) error {
+		attempt := shards[sh].Attempts
+		shards[sh].Attempts++
+		if err := states[sh].advance(StateLeased); err != nil {
+			return err
+		}
+		name := s.w.Name()
+		if cfg.Stats != nil {
+			cfg.Stats.LeaseGranted(name)
+		}
+		if attempt > 0 {
+			if cfg.Stats != nil {
+				cfg.Stats.Reassigned()
+			}
+			c.emit(trace.Event{Kind: trace.KDistReassign,
+				Name: fmt.Sprintf("%s → %s", shardName(sh), name), Count: int64(attempt + 1)})
+			c.logf("reassigned %s → %s (attempt %d)", shardName(sh), name, attempt+1)
+		}
+		c.emit(trace.Event{Kind: trace.KDistLease,
+			Name: fmt.Sprintf("%s → %s", shardName(sh), name), Count: int64(attempt + 1)})
+		c.logf("lease %s → %s (attempt %d)", shardName(sh), name, attempt+1)
+		t := Task{
+			Shard: sh, Shards: n,
+			Exps: cfg.Exps, Quick: cfg.Quick, Steps: cfg.Steps,
+		}
+		if imgs := shards[sh].Journals; len(imgs) > 0 {
+			t.Seed = imgs[len(imgs)-1] // latest salvage supersedes earlier ones
+		}
+		running++
+		go func() {
+			st, died, err := c.supervise(runCtx, s.w, t)
+			results <- outcome{shard: sh, slot: s, st: st, err: err, died: died}
+		}()
+		return nil
+	}
+
+	handle := func(o outcome) error {
+		running--
+		sh, s := o.shard, o.slot
+		name := s.w.Name()
+		if o.err == nil {
+			if cfg.Stats != nil {
+				cfg.Stats.LeaseDone(name)
+			}
+			if err := states[sh].advance(StateCompleted); err != nil {
+				return err
+			}
+			s.failures = 0
+			shards[sh].State = StateCompleted
+			shards[sh].Cells = o.st.Cells
+			shards[sh].Err = ""
+			shards[sh].Journals = append(shards[sh].Journals, o.st.Journal)
+			c.emit(trace.Event{Kind: trace.KDistShardDone, Name: shardName(sh),
+				Count: int64(o.st.Cells), Bytes: int64(len(o.st.Journal))})
+			c.logf("%s completed on %s: %d cell(s), %d journal byte(s)",
+				shardName(sh), name, o.st.Cells, len(o.st.Journal))
+			finished++
+			free <- s
+			return nil
+		}
+
+		// Lease lost. Salvage whatever the attempt journaled, account
+		// the failure, and decide the shard's and the worker's fate.
+		if cfg.Stats != nil {
+			cfg.Stats.LeaseExpired(name)
+		}
+		if err := states[sh].advance(StateExpired); err != nil {
+			return err
+		}
+		if len(o.st.Journal) > 0 {
+			shards[sh].Journals = append(shards[sh].Journals, o.st.Journal)
+			shards[sh].Cells = o.st.Cells
+		}
+		shards[sh].Err = o.err.Error()
+		c.emit(trace.Event{Kind: trace.KDistExpire,
+			Name: fmt.Sprintf("%s on %s", shardName(sh), name), Dur: simDur(cfg.LeaseTTL)})
+		c.logf("lease expired: %s on %s: %v (salvaged %d cell(s))",
+			shardName(sh), name, o.err, o.st.Cells)
+
+		s.failures++
+		if o.died {
+			if cfg.Stats != nil {
+				cfg.Stats.WorkerDied(name)
+			}
+			c.emit(trace.Event{Kind: trace.KDistWorkerDeath, Name: name, Count: int64(s.failures)})
+		}
+		if s.failures >= cfg.MaxWorkerFailures {
+			alive--
+			c.logf("retiring worker %s after %d failure(s) (%d worker(s) left)", name, s.failures, alive)
+		} else {
+			free <- s
+		}
+
+		if shards[sh].Attempts > cfg.MaxRetries {
+			if err := states[sh].advance(StateQuarantined); err != nil {
+				return err
+			}
+			shards[sh].State = StateQuarantined
+			c.logf("quarantining %s after %d attempt(s): %v", shardName(sh), shards[sh].Attempts, o.err)
+			finished++
+			return nil
+		}
+		if err := states[sh].advance(StateReassigned); err != nil {
+			return err
+		}
+		delay := backoffDelay(cfg.Backoff, cfg.BackoffCap, cfg.Seed, shards[sh].Attempts-1, 0)
+		c.logf("retrying %s in %v", shardName(sh), delay)
+		go func() {
+			c.sleep(runCtx, delay)
+			requeue <- sh
+		}()
+		return nil
+	}
+
+	for finished < n {
+		if alive == 0 && running == 0 {
+			// The whole fleet is gone: quarantine everything unfinished
+			// (pending, in backoff, or freshly expired) so the sweep
+			// still renders — maximally incomplete, but rendered.
+			for i := range states {
+				if states[i].Terminal() {
+					continue
+				}
+				if err := states[i].advance(StateQuarantined); err != nil {
+					return nil, err
+				}
+				shards[i].State = StateQuarantined
+				if shards[i].Err == "" {
+					shards[i].Err = "no workers left"
+				}
+				c.logf("quarantining %s: no workers left", shardName(i))
+				finished++
+			}
+			break
+		}
+		var err error
+		if len(pending) > 0 {
+			select {
+			case o := <-results:
+				err = handle(o)
+			case sh := <-requeue:
+				pending = append(pending, sh)
+			case s := <-free:
+				sh := pending[0]
+				pending = pending[1:]
+				err = launch(s, sh)
+			case <-runCtx.Done():
+				return nil, fmt.Errorf("dist: sweep cancelled: %w", runCtx.Err())
+			}
+		} else {
+			select {
+			case o := <-results:
+				err = handle(o)
+			case sh := <-requeue:
+				pending = append(pending, sh)
+			case <-runCtx.Done():
+				return nil, fmt.Errorf("dist: sweep cancelled: %w", runCtx.Err())
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Shards: shards, Quarantined: map[int]bool{}}
+	for i, st := range states {
+		shards[i].State = st
+		if st == StateQuarantined {
+			res.Quarantined[i] = true
+		}
+	}
+	if cfg.Stats != nil {
+		res.Stats = cfg.Stats.Snapshot()
+	}
+	return res, nil
+}
+
+// supervise runs one attempt to completion or lease loss: start the
+// worker, then poll at the heartbeat interval, salvaging the journal on
+// every successful poll. The lease expires after LeaseTTL without a
+// successful heartbeat (died=true: crash or partition); a worker that
+// heartbeats but never finishes trips ShardTimeout (died=false: the
+// attempt is abandoned but the worker answered for itself).
+func (c *Coordinator) supervise(ctx context.Context, w Worker, t Task) (last AttemptStatus, died bool, err error) {
+	cfg := c.cfg
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	at, err := w.Start(actx, t)
+	if err != nil {
+		return AttemptStatus{}, true, fmt.Errorf("%w: start failed: %v", ErrLeaseExpired, err)
+	}
+	defer at.Kill()
+	//lint:allow determinism lease supervision is host wall-clock by definition; it never feeds a simulated quantity
+	start := time.Now()
+	lastBeat := start
+	tick := time.NewTicker(cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		st, perr := at.Poll(actx)
+		//lint:allow determinism lease supervision is host wall-clock by definition; it never feeds a simulated quantity
+		now := time.Now()
+		if perr != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return last, false, fmt.Errorf("attempt cancelled: %w", cerr)
+			}
+			if now.Sub(lastBeat) > cfg.LeaseTTL {
+				return last, true, fmt.Errorf("%w: no heartbeat for %v: %v", ErrLeaseExpired, cfg.LeaseTTL, perr)
+			}
+		} else {
+			lastBeat = now
+			last = st
+			if st.Done {
+				if st.Err != "" {
+					return last, true, fmt.Errorf("%w: worker reported: %s", ErrLeaseExpired, st.Err)
+				}
+				return last, false, nil
+			}
+		}
+		if cfg.ShardTimeout > 0 && now.Sub(start) > cfg.ShardTimeout {
+			return last, false, fmt.Errorf("%w after %v", ErrShardTimeout, cfg.ShardTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return last, false, fmt.Errorf("attempt cancelled: %w", ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+// simDur casts a wall-clock duration onto the trace's virtual-time Dur
+// field; dist events are coordination-level, so the field is purely
+// informational.
+func simDur(d time.Duration) simtime.Duration { return simtime.Duration(d.Nanoseconds()) }

@@ -1,0 +1,550 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sentinel/internal/experiment"
+	"sentinel/internal/metrics"
+)
+
+// journalImage builds a valid journal image holding the given keys, via
+// the real encoder so framing and checksums are authentic.
+func journalImage(t *testing.T, keys ...string) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	j, err := experiment.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if err := j.Append(k, &metrics.RunStats{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	image, err := os.ReadFile(filepath.Join(dir, experiment.JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return image
+}
+
+// pollFunc scripts one attempt: called with the poll ordinal, returns
+// that poll's status.
+type pollFunc func(poll int) (AttemptStatus, error)
+
+// fakeWorker scripts a Worker: behave builds a pollFunc per Start, keyed
+// by the start ordinal, so a worker can fail its first lease and serve
+// its second.
+type fakeWorker struct {
+	name     string
+	startErr error
+	behave   func(start int, t Task) pollFunc
+
+	mu     sync.Mutex
+	starts int
+	seeds  [][]byte // Task.Seed per start, for salvage-handoff assertions
+}
+
+func (w *fakeWorker) Name() string { return w.name }
+
+func (w *fakeWorker) Start(ctx context.Context, t Task) (Attempt, error) {
+	w.mu.Lock()
+	start := w.starts
+	w.starts++
+	w.seeds = append(w.seeds, t.Seed)
+	w.mu.Unlock()
+	if w.startErr != nil {
+		return nil, w.startErr
+	}
+	return &fakeAttempt{fn: w.behave(start, t)}, nil
+}
+
+func (w *fakeWorker) startCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.starts
+}
+
+func (w *fakeWorker) seedAt(i int) []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i >= len(w.seeds) {
+		return nil
+	}
+	return w.seeds[i]
+}
+
+type fakeAttempt struct {
+	mu     sync.Mutex
+	polls  int
+	fn     pollFunc
+	killed bool
+}
+
+func (a *fakeAttempt) Poll(ctx context.Context) (AttemptStatus, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := a.polls
+	a.polls++
+	return a.fn(p)
+}
+
+func (a *fakeAttempt) Kill() {
+	a.mu.Lock()
+	a.killed = true
+	a.mu.Unlock()
+}
+
+// done scripts an attempt that completes immediately with the given
+// journal.
+func done(image []byte, cells int) pollFunc {
+	return func(int) (AttemptStatus, error) {
+		return AttemptStatus{Journal: image, Cells: cells, Done: true}, nil
+	}
+}
+
+// crashed scripts an attempt that reports its own death (the local
+// worker path: the subprocess exited with "signal: killed"), leaving a
+// salvageable partial journal.
+func crashed(salvage []byte, cells int) pollFunc {
+	return func(int) (AttemptStatus, error) {
+		return AttemptStatus{Journal: salvage, Cells: cells, Done: true, Err: "signal: killed"}, nil
+	}
+}
+
+// testCfg is a coordination config tuned for test speed: instant retry
+// sleeps, millisecond heartbeats.
+func testCfg(shards int) Config {
+	return Config{
+		Exps:              []string{"fig7"},
+		Shards:            shards,
+		LeaseTTL:          200 * time.Millisecond,
+		Heartbeat:         time.Millisecond,
+		MaxRetries:        2,
+		MaxWorkerFailures: 2,
+		Backoff:           time.Millisecond,
+		BackoffCap:        2 * time.Millisecond,
+		Stats:             &metrics.DistStats{},
+		Sleep:             func(ctx context.Context, d time.Duration) {},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	ok := &fakeWorker{name: "w0"}
+	cases := []struct {
+		name    string
+		cfg     Config
+		workers []Worker
+		wantErr string
+	}{
+		{"no workers", testCfg(1), nil, "no workers"},
+		{"empty name", testCfg(1), []Worker{&fakeWorker{}}, "empty name"},
+		{"duplicate name", testCfg(2), []Worker{ok, &fakeWorker{name: "w0"}}, "duplicate worker name"},
+		{"no experiments", Config{}, []Worker{ok}, "no experiments"},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg, tc.workers); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: New() err = %v, want %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := New(Config{Exps: []string{"fig7"}}, []Worker{
+		&fakeWorker{name: "a"}, &fakeWorker{name: "b"}, &fakeWorker{name: "c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("default shard count %d, want one per worker (3)", c.Shards())
+	}
+	cfg := c.cfg
+	if cfg.LeaseTTL <= 0 || cfg.Heartbeat <= 0 || cfg.Heartbeat >= cfg.LeaseTTL {
+		t.Fatalf("defaults: heartbeat %v must be positive and below lease TTL %v", cfg.Heartbeat, cfg.LeaseTTL)
+	}
+	if cfg.MaxWorkerFailures <= 0 || cfg.Backoff <= 0 || cfg.BackoffCap < cfg.Backoff {
+		t.Fatalf("defaults not resolved: %+v", cfg)
+	}
+}
+
+func TestCoordinatorAllComplete(t *testing.T) {
+	images := [][]byte{
+		journalImage(t, "cell-0a", "cell-0b"),
+		journalImage(t, "cell-1a"),
+		journalImage(t, "cell-2a", "cell-2b", "cell-2c"),
+	}
+	behave := func(start int, task Task) pollFunc {
+		return done(images[task.Shard], task.Shard+1)
+	}
+	workers := []Worker{
+		&fakeWorker{name: "w0", behave: behave},
+		&fakeWorker{name: "w1", behave: behave},
+	}
+	cfg := testCfg(3)
+	c, err := New(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sr := range res.Shards {
+		if sr.State != StateCompleted || sr.Attempts != 1 || sr.Err != "" {
+			t.Fatalf("shard %d: %+v, want completed in one attempt", i, sr)
+		}
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("quarantined %v on a clean run", res.Quarantined)
+	}
+	st := res.Stats
+	if st.Granted != 3 || st.Expired != 0 || st.Reassigned != 0 || st.WorkerDeaths != 0 {
+		t.Fatalf("stats %+v, want 3 grants and nothing else", st)
+	}
+	if len(st.InFlight) != 0 {
+		t.Fatalf("in-flight gauge not drained: %+v", st.InFlight)
+	}
+
+	cache := experiment.NewCache()
+	restored, skipped := res.MergeInto(cache)
+	if restored != 6 || skipped != 0 {
+		t.Fatalf("merged %d/%d cells, want 6/0", restored, skipped)
+	}
+	for _, k := range []string{"cell-0a", "cell-1a", "cell-2c"} {
+		if !cache.Has(k) {
+			t.Fatalf("merged cache missing %q", k)
+		}
+	}
+	plan := res.Plan(c.Shards())
+	if plan.Count != 3 || plan.Index != -1 || len(plan.Quarantined) != 0 {
+		t.Fatalf("merge plan %+v", plan)
+	}
+}
+
+func TestCoordinatorReassignsOnWorkerDeath(t *testing.T) {
+	salvage := journalImage(t, "cell-a")
+	full := journalImage(t, "cell-a", "cell-b")
+	bad := &fakeWorker{name: "bad", behave: func(int, Task) pollFunc {
+		return crashed(salvage, 1)
+	}}
+	good := &fakeWorker{name: "good", behave: func(int, Task) pollFunc {
+		return done(full, 2)
+	}}
+
+	cfg := testCfg(1)
+	cfg.MaxWorkerFailures = 1 // first death retires the worker
+	c, err := New(cfg, []Worker{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sr := res.Shards[0]
+	if sr.State != StateCompleted || sr.Attempts != 2 {
+		t.Fatalf("shard: %+v, want completed on the second attempt", sr)
+	}
+	if len(sr.Journals) != 2 {
+		t.Fatalf("want salvage + final journal, got %d image(s)", len(sr.Journals))
+	}
+	if bad.startCount() != 1 || good.startCount() != 1 {
+		t.Fatalf("starts bad=%d good=%d, want 1 each", bad.startCount(), good.startCount())
+	}
+	// The survivor must be seeded with the dead worker's salvage so
+	// cell-a never recomputes.
+	if seed := good.seedAt(0); string(seed) != string(salvage) {
+		t.Fatalf("survivor seeded with %d byte(s), want the %d-byte salvage", len(seed), len(salvage))
+	}
+	st := res.Stats
+	if st.Granted != 2 || st.Expired != 1 || st.Reassigned != 1 || st.WorkerDeaths != 1 {
+		t.Fatalf("stats %+v, want 2 granted / 1 expired / 1 reassigned / 1 death", st)
+	}
+
+	cache := experiment.NewCache()
+	restored, skipped := res.MergeInto(cache)
+	// cell-a appears in both images; first write wins, the duplicate is
+	// deduped silently (neither restored nor skipped — skips are for
+	// corruption).
+	if restored != 2 || skipped != 0 {
+		t.Fatalf("merged %d/%d, want 2 restored / 0 skipped", restored, skipped)
+	}
+}
+
+func TestCoordinatorQuarantinesAfterRetries(t *testing.T) {
+	w := &fakeWorker{name: "w0", behave: func(int, Task) pollFunc {
+		return crashed(nil, 0)
+	}}
+	cfg := testCfg(1)
+	cfg.MaxRetries = 1
+	cfg.MaxWorkerFailures = 10 // keep the worker in the fleet throughout
+	c, err := New(cfg, []Worker{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Shards[0]
+	if sr.State != StateQuarantined || sr.Attempts != 2 {
+		t.Fatalf("shard: %+v, want quarantined after 2 attempts (1 + 1 retry)", sr)
+	}
+	if !strings.Contains(sr.Err, "signal: killed") {
+		t.Fatalf("quarantine cause lost: %q", sr.Err)
+	}
+	if !res.Quarantined[0] {
+		t.Fatalf("Quarantined map: %v", res.Quarantined)
+	}
+	plan := res.Plan(1)
+	if !plan.Quarantined[0] {
+		t.Fatalf("merge plan does not quarantine shard 0: %+v", plan)
+	}
+}
+
+func TestCoordinatorHangTripsShardTimeout(t *testing.T) {
+	w := &fakeWorker{name: "w0", behave: func(int, Task) pollFunc {
+		// Heartbeats forever, never finishes: a hung worker that still
+		// answers for itself.
+		return func(int) (AttemptStatus, error) { return AttemptStatus{}, nil }
+	}}
+	cfg := testCfg(1)
+	cfg.ShardTimeout = 10 * time.Millisecond
+	cfg.MaxRetries = 0
+	c, err := New(cfg, []Worker{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Shards[0]
+	if sr.State != StateQuarantined {
+		t.Fatalf("shard: %+v, want quarantined on timeout with MaxRetries=0", sr)
+	}
+	if !strings.Contains(sr.Err, "timed out") {
+		t.Fatalf("timeout cause lost: %q", sr.Err)
+	}
+	// A hang is an abandoned attempt, not a worker death.
+	if res.Stats.WorkerDeaths != 0 {
+		t.Fatalf("%d worker death(s) for a hang, want 0", res.Stats.WorkerDeaths)
+	}
+	if res.Stats.Expired != 1 {
+		t.Fatalf("%d expirations, want 1", res.Stats.Expired)
+	}
+}
+
+func TestCoordinatorPartitionExpiresLease(t *testing.T) {
+	salvage := journalImage(t, "cell-a")
+	w := &fakeWorker{name: "w0", behave: func(int, Task) pollFunc {
+		return func(poll int) (AttemptStatus, error) {
+			if poll == 0 {
+				// One healthy heartbeat with progress, then the network
+				// goes away: every later poll fails.
+				return AttemptStatus{Journal: salvage, Cells: 1}, nil
+			}
+			return AttemptStatus{}, errors.New("connection refused")
+		}
+	}}
+	cfg := testCfg(1)
+	cfg.LeaseTTL = 15 * time.Millisecond
+	cfg.Heartbeat = 3 * time.Millisecond
+	cfg.MaxRetries = 0
+	c, err := New(cfg, []Worker{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.Shards[0]
+	if sr.State != StateQuarantined {
+		t.Fatalf("shard: %+v", sr)
+	}
+	if !strings.Contains(sr.Err, "lease expired") || !strings.Contains(sr.Err, "no heartbeat") {
+		t.Fatalf("expiry cause lost: %q", sr.Err)
+	}
+	// The pre-partition heartbeat's journal must be salvaged.
+	if sr.Cells != 1 || len(sr.Journals) != 1 || string(sr.Journals[0]) != string(salvage) {
+		t.Fatalf("salvage lost: cells=%d journals=%d", sr.Cells, len(sr.Journals))
+	}
+	if res.Stats.WorkerDeaths != 1 {
+		t.Fatalf("%d death(s), want 1 (a partitioned worker is dead to the coordinator)", res.Stats.WorkerDeaths)
+	}
+}
+
+func TestCoordinatorStartFailureCountsAsDeath(t *testing.T) {
+	bad := &fakeWorker{name: "bad", startErr: errors.New("host unreachable")}
+	good := &fakeWorker{name: "good", behave: func(int, Task) pollFunc {
+		return done(journalImage(t, "cell-a"), 1)
+	}}
+	cfg := testCfg(1)
+	cfg.MaxRetries = 5
+	cfg.MaxWorkerFailures = 1
+	c, err := New(cfg, []Worker{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shards[0].State != StateCompleted {
+		t.Fatalf("shard: %+v", res.Shards[0])
+	}
+	if res.Stats.WorkerDeaths != 1 {
+		t.Fatalf("%d death(s), want 1 for the unreachable worker", res.Stats.WorkerDeaths)
+	}
+}
+
+func TestCoordinatorFleetDeathQuarantinesRemainder(t *testing.T) {
+	behave := func(int, Task) pollFunc { return crashed(nil, 0) }
+	workers := []Worker{
+		&fakeWorker{name: "w0", behave: behave},
+		&fakeWorker{name: "w1", behave: behave},
+	}
+	cfg := testCfg(4)
+	cfg.MaxRetries = 10 // retries never exhaust; only fleet death ends this
+	cfg.MaxWorkerFailures = 1
+	c, err := New(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 4 {
+		t.Fatalf("quarantined %v, want all 4 shards", res.Quarantined)
+	}
+	sawIdle := false
+	for i, sr := range res.Shards {
+		if sr.State != StateQuarantined {
+			t.Fatalf("shard %d: %+v", i, sr)
+		}
+		if sr.Attempts == 0 {
+			sawIdle = true
+			if sr.Err != "no workers left" {
+				t.Fatalf("never-leased shard %d err %q, want %q", i, sr.Err, "no workers left")
+			}
+		}
+	}
+	// 2 workers, each retired after 1 failure ⇒ at most 2 shards were
+	// ever leased; the rest must be quarantined straight from idle.
+	if !sawIdle {
+		t.Fatal("no shard quarantined from idle — fleet-death sweep missed the pending queue")
+	}
+	if res.Stats.WorkerDeaths != 2 {
+		t.Fatalf("%d death(s), want 2", res.Stats.WorkerDeaths)
+	}
+}
+
+func TestCoordinatorCancellation(t *testing.T) {
+	w := &fakeWorker{name: "w0", behave: func(int, Task) pollFunc {
+		return func(int) (AttemptStatus, error) { return AttemptStatus{}, nil } // runs forever
+	}}
+	cfg := testCfg(1)
+	c, err := New(cfg, []Worker{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := c.Run(ctx); err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run under cancellation: %v, want context.Canceled", err)
+	}
+}
+
+func TestMergeIntoSkipsGarbageImage(t *testing.T) {
+	res := &Result{Shards: []ShardResult{{
+		Shard:    0,
+		Journals: [][]byte{[]byte("this is not a journal"), journalImage(t, "cell-a")},
+	}}}
+	cache := experiment.NewCache()
+	restored, skipped := res.MergeInto(cache)
+	if restored != 1 || skipped != 1 {
+		t.Fatalf("merged %d/%d, want 1 restored, 1 garbage image skipped", restored, skipped)
+	}
+	if !cache.Has("cell-a") {
+		t.Fatal("valid image after garbage image was not merged")
+	}
+}
+
+// TestCoordinatorLogAndTrace pins the observable surface: log lines and
+// trace events for the lease → expire → reassign → done lifecycle.
+func TestCoordinatorLogAndTrace(t *testing.T) {
+	salvage := journalImage(t, "cell-a")
+	full := journalImage(t, "cell-a", "cell-b")
+	bad := &fakeWorker{name: "bad", behave: func(int, Task) pollFunc { return crashed(salvage, 1) }}
+	good := &fakeWorker{name: "good", behave: func(int, Task) pollFunc { return done(full, 2) }}
+
+	var buf strings.Builder
+	cfg := testCfg(1)
+	cfg.MaxWorkerFailures = 1
+	cfg.Log = &buf
+	c, err := New(cfg, []Worker{bad, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.String()
+	for _, want := range []string{
+		"dist: lease shard 0/1 → bad (attempt 1)",
+		"dist: lease expired: shard 0/1 on bad",
+		"salvaged 1 cell(s)",
+		"dist: retiring worker bad after 1 failure(s)",
+		"dist: reassigned shard 0/1 → good (attempt 2)",
+		"dist: shard 0/1 completed on good: 2 cell(s)",
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q\n---\n%s", want, log)
+		}
+	}
+}
+
+func ExampleCoordinator() {
+	image := func(keys ...string) []byte {
+		dir, _ := os.MkdirTemp("", "dist-example-")
+		defer os.RemoveAll(dir)
+		j, _ := experiment.OpenJournal(dir)
+		for _, k := range keys {
+			j.Append(k, &metrics.RunStats{})
+		}
+		j.Close()
+		b, _ := os.ReadFile(filepath.Join(dir, experiment.JournalFile))
+		return b
+	}
+	w := &fakeWorker{name: "w0", behave: func(start int, task Task) pollFunc {
+		return done(image(fmt.Sprintf("cell-%d", task.Shard)), 1)
+	}}
+	cfg := Config{
+		Exps: []string{"fig7"}, Shards: 2, Stats: &metrics.DistStats{},
+		Sleep: func(ctx context.Context, d time.Duration) {},
+	}
+	c, _ := New(cfg, []Worker{w})
+	res, _ := c.Run(context.Background())
+	cache := experiment.NewCache()
+	restored, _ := res.MergeInto(cache)
+	fmt.Printf("%d shard(s), %d cell(s) merged, %s\n", len(res.Shards), restored, res.Stats)
+	// Output: 2 shard(s), 2 cell(s) merged, 2 leases granted, 0 expired, 0 reassigned, 0 worker death(s)
+}

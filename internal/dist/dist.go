@@ -1,0 +1,109 @@
+// Package dist is the fault-tolerant distributed-sweep layer: a
+// coordinator that splits an experiment sweep's cell space into hash
+// shards (experiment.ShardOf), leases each shard to a worker — a
+// locally spawned sentinel-sweep subprocess or a remote sentinel-serve
+// instance dialed over HTTP — and supervises the fleet with heartbeats,
+// per-shard timeouts, lease TTLs, and capped-backoff retry, so that a
+// worker crash, hang, or network partition costs the sweep only the
+// dead worker's un-journaled cells, never the sweep itself.
+//
+// The recovery unit is the result journal (internal/experiment): every
+// worker appends each completed cell to a checksummed journal, and the
+// coordinator continuously salvages journal bytes through the worker's
+// heartbeat channel. When a lease expires the shard is reassigned to a
+// survivor seeded with everything salvaged so far — completed cells
+// replay from the journal instead of recomputing — and when a shard
+// exhausts its retries it is quarantined: the sweep completes and the
+// merged tables render with the incomplete-table footer (degradation
+// over failure, as everywhere else in this codebase).
+//
+// The coordinator's merge is deliberately boring: every shard journal
+// feeds experiment.MergeJournal into one plan cache (first-write wins
+// via Cache.Seed, so overlapping salvage is deterministic), and the
+// tables are then rendered locally in merge mode — byte-identical to a
+// single-process run, which CI's dist-smoke job asserts with cmp.
+//
+// Topology, the lease protocol, and the failure matrix are documented
+// in docs/DISTRIBUTED.md; cmd/sentinel-sweep is the CLI.
+package dist
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"sentinel/internal/metrics"
+	"sentinel/internal/trace"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// Exps names the experiments to sweep (experiment registry ids).
+	Exps []string
+	// Quick trims sweeps (experiment.Options.Quick).
+	Quick bool
+	// Steps is the per-run step count (experiment.Options.Steps).
+	Steps int
+	// Shards is how many hash partitions the cell space splits into;
+	// 0 defaults to the worker count.
+	Shards int
+	// LeaseTTL is how long a worker may go without a successful
+	// heartbeat before its lease expires and the shard is reassigned;
+	// 0 defaults to 10s.
+	LeaseTTL time.Duration
+	// Heartbeat is the supervision poll interval; 0 defaults to
+	// LeaseTTL/4.
+	Heartbeat time.Duration
+	// ShardTimeout bounds one shard attempt's wall-clock time (the
+	// livelocked-worker guard); 0 disables it.
+	ShardTimeout time.Duration
+	// MaxRetries is how many times a failed shard is reassigned before
+	// quarantine; a shard gets MaxRetries+1 attempts total. Negative
+	// means no retries.
+	MaxRetries int
+	// MaxWorkerFailures retires a worker after this many failed
+	// attempts; 0 defaults to 2.
+	MaxWorkerFailures int
+	// Backoff and BackoffCap shape the reassignment delay: attempt n
+	// waits min(Backoff<<n, BackoffCap) stretched by seeded jitter.
+	// Defaults: 250ms base, 5s cap.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Seed feeds the deterministic backoff jitter.
+	Seed int64
+	// Log, when non-nil, receives one line per supervision event
+	// (lease, expiry, reassignment, quarantine).
+	Log io.Writer
+	// Trace, when non-nil, receives the dist- trace-event family.
+	Trace *trace.Bus
+	// Stats, when non-nil, accumulates the coordination counters
+	// (leases granted/expired/reassigned, worker deaths, in-flight).
+	Stats *metrics.DistStats
+	// Sleep is the backoff sleeper, injectable for deterministic tests;
+	// nil means a real context-aware sleep.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+// withDefaults fills derived and zero fields. The worker count resolves
+// Shards.
+func (c Config) withDefaults(workers int) Config {
+	if c.Shards <= 0 {
+		c.Shards = workers
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 4
+	}
+	if c.MaxWorkerFailures <= 0 {
+		c.MaxWorkerFailures = 2
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 250 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 5 * time.Second
+	}
+	return c
+}

@@ -1,0 +1,70 @@
+package dist
+
+// The coordinator↔worker wire protocol, shared with internal/serve
+// (which implements the worker side on sentinel-serve). Three calls:
+//
+//	POST   /v1/shard               grant a lease and start the shard
+//	GET    /v1/shard/status?lease=L&offset=N
+//	                               heartbeat: renew the lease, fetch
+//	                               journal bytes appended since offset
+//	DELETE /v1/shard?lease=L       release the lease, cancel the run
+//
+// The status call is both the health check and the salvage channel:
+// every successful poll renews the worker-side TTL and streams the
+// shard journal incrementally, so when the worker later dies the
+// coordinator already holds everything it journaled. Journal bytes are
+// opaque here — framing and checksums belong to internal/experiment's
+// journal codec, which tolerates the torn tail an incremental read can
+// catch mid-append.
+
+// Shard lease states on the wire.
+const (
+	// ShardRunning: the lease is live and the shard is executing.
+	ShardRunning = "running"
+	// ShardCompleted: every cell ran and the journal is final.
+	ShardCompleted = "completed"
+	// ShardFailed: the run errored; Err carries the cause.
+	ShardFailed = "failed"
+)
+
+// ShardRequest is the POST /v1/shard body: the shard assignment plus
+// everything the worker needs to reproduce the coordinator's sweep
+// exactly (same experiments, same trim, same step count — cell cache
+// keys must match across the fleet or the partition is meaningless).
+type ShardRequest struct {
+	// Exps are the experiment registry ids to sweep.
+	Exps []string `json:"exps"`
+	// Shard/Shards select the hash partition this worker owns.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Quick and Steps mirror experiment.Options.
+	Quick bool `json:"quick,omitempty"`
+	Steps int  `json:"steps,omitempty"`
+	// Seed is a journal image to resume from — the salvage of a dead
+	// predecessor's lease. Cells it holds replay instead of recomputing.
+	// (JSON encodes []byte as base64.)
+	Seed []byte `json:"seed,omitempty"`
+	// TTLMillis is the lease TTL: if no status call renews the lease for
+	// this long, the worker cancels the run and discards the lease.
+	// 0 means the worker's configured default.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// ShardStatus is the response to every shard call: the lease, its
+// state, and the incremental journal read.
+type ShardStatus struct {
+	// Lease identifies the granted lease; status/release calls quote it.
+	Lease string `json:"lease"`
+	// State is one of ShardRunning, ShardCompleted, ShardFailed.
+	State string `json:"state"`
+	// Journal is the journal bytes from the request's offset (base64 on
+	// the wire); empty when nothing new was appended.
+	Journal []byte `json:"journal,omitempty"`
+	// Offset is the total journal size after this read — the offset to
+	// quote next.
+	Offset int64 `json:"offset"`
+	// Cells is how many cells the shard has journaled so far.
+	Cells int `json:"cells"`
+	// Err carries the failure cause when State is ShardFailed.
+	Err string `json:"error,omitempty"`
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// RemoteWorker runs shard attempts on a sentinel-serve instance over
+// HTTP — the -workers-remote mode. Start grants a lease via
+// POST /v1/shard; Poll renews it and streams the shard journal
+// incrementally via GET /v1/shard/status; Kill releases it via DELETE.
+// All calls go through the shared retrying Client, so transient
+// transport blips and backpressure (429/503 + Retry-After) never count
+// as lease losses — only a sustained failure past the coordinator's
+// lease TTL does.
+type RemoteWorker struct {
+	// BaseURL is the serve instance's root, e.g. "http://host:8080".
+	BaseURL string
+	// Client is the retrying HTTP client; required (the coordinator
+	// shares one across its remote workers).
+	Client *Client
+	// TTL is the worker-side lease TTL granted with each shard; the
+	// worker cancels a run this long after the last status poll. The
+	// coordinator sets it comfortably above its heartbeat interval.
+	TTL time.Duration
+}
+
+// Name implements Worker: remote workers are named by their URL.
+func (w *RemoteWorker) Name() string { return strings.TrimSuffix(w.BaseURL, "/") }
+
+// Start implements Worker: grant the lease.
+func (w *RemoteWorker) Start(ctx context.Context, t Task) (Attempt, error) {
+	req := ShardRequest{
+		Exps: t.Exps, Shard: t.Shard, Shards: t.Shards,
+		Quick: t.Quick, Steps: t.Steps, Seed: t.Seed,
+		TTLMillis: w.TTL.Milliseconds(),
+	}
+	var st ShardStatus
+	if err := w.Client.DoJSON(ctx, "POST", w.Name()+"/v1/shard", req, &st); err != nil {
+		return nil, fmt.Errorf("dist worker %s: granting lease: %w", w.Name(), err)
+	}
+	if st.Lease == "" {
+		return nil, fmt.Errorf("dist worker %s: lease grant returned no lease id", w.Name())
+	}
+	// The grant may carry the seed's replay as an initial journal
+	// window; start accumulating from its offset.
+	return &remoteAttempt{w: w, lease: st.Lease, journal: append([]byte(nil), st.Journal...), offset: st.Offset}, nil
+}
+
+// remoteAttempt accumulates one lease's incremental journal reads.
+type remoteAttempt struct {
+	w       *RemoteWorker
+	lease   string
+	journal []byte
+	offset  int64
+}
+
+// Poll implements Attempt: one status round-trip. The offset parameter
+// makes the journal transfer incremental; the returned image is the
+// accumulation of every window so far, which concatenates into a valid
+// journal because records are single appended writes (a torn tail in
+// one window is completed by the next).
+func (a *remoteAttempt) Poll(ctx context.Context) (AttemptStatus, error) {
+	q := url.Values{"lease": {a.lease}, "offset": {strconv.FormatInt(a.offset, 10)}}
+	var st ShardStatus
+	if err := a.w.Client.DoJSON(ctx, "GET", a.w.Name()+"/v1/shard/status?"+q.Encode(), nil, &st); err != nil {
+		return AttemptStatus{}, err
+	}
+	a.journal = append(a.journal, st.Journal...)
+	a.offset = st.Offset
+	out := AttemptStatus{Journal: a.journal, Cells: st.Cells}
+	switch st.State {
+	case ShardCompleted:
+		out.Done = true
+	case ShardFailed:
+		out.Done = true
+		out.Err = st.Err
+		if out.Err == "" {
+			out.Err = "shard failed (no cause reported)"
+		}
+	}
+	return out, nil
+}
+
+// Kill implements Attempt: release the lease so the worker cancels the
+// run and frees the slot. Best-effort — an unreachable worker's lease
+// dies of TTL expiry on its own.
+func (a *remoteAttempt) Kill() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	q := url.Values{"lease": {a.lease}}
+	//nolint:errcheck // best-effort release; TTL expiry is the backstop
+	a.w.Client.DoJSON(ctx, "DELETE", a.w.Name()+"/v1/shard?"+q.Encode(), nil, nil)
+}

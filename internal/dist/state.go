@@ -1,0 +1,89 @@
+package dist
+
+import "fmt"
+
+// State is a shard's position in the lease lifecycle. The coordinator
+// drives every shard through this machine and refuses invalid
+// transitions loudly (a transition bug would otherwise surface as a
+// silently lost or double-counted shard):
+//
+//	idle ──► leased ──► running ──► completed
+//	            │           │
+//	            └───────────┴─► expired ──► reassigned ──► leased …
+//	                                │
+//	                                └─► quarantined
+type State int
+
+const (
+	// StateIdle: not yet assigned to any worker.
+	StateIdle State = iota
+	// StateLeased: granted to a worker; the attempt is starting.
+	StateLeased
+	// StateRunning: the worker heartbeated at least once.
+	StateRunning
+	// StateCompleted: the shard's journal is final. Terminal.
+	StateCompleted
+	// StateExpired: the lease was lost — crash, hang, or partition.
+	StateExpired
+	// StateReassigned: queued for another worker after expiry.
+	StateReassigned
+	// StateQuarantined: retries exhausted; the shard's cells render as
+	// placeholders. Terminal.
+	StateQuarantined
+)
+
+var stateNames = [...]string{
+	StateIdle:        "idle",
+	StateLeased:      "leased",
+	StateRunning:     "running",
+	StateCompleted:   "completed",
+	StateExpired:     "expired",
+	StateReassigned:  "reassigned",
+	StateQuarantined: "quarantined",
+}
+
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// stateNext enumerates the legal transitions. Beyond the happy path:
+// leased→completed (a fast shard can finish between heartbeats),
+// leased→expired (a start failure expires a lease that never ran), and
+// idle/reassigned→quarantined (the whole fleet can die while a shard
+// waits for a worker or sits in reassignment backoff).
+var stateNext = map[State][]State{
+	StateIdle:       {StateLeased, StateQuarantined},
+	StateLeased:     {StateRunning, StateCompleted, StateExpired},
+	StateRunning:    {StateCompleted, StateExpired},
+	StateExpired:    {StateReassigned, StateQuarantined},
+	StateReassigned: {StateLeased, StateQuarantined},
+}
+
+// CanAdvance reports whether s → to is a legal transition.
+func (s State) CanAdvance(to State) bool {
+	for _, n := range stateNext[s] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Terminal reports whether the shard is finished (completed or
+// quarantined).
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateQuarantined
+}
+
+// advance moves s to the target state, or errors on an illegal
+// transition without moving.
+func (s *State) advance(to State) error {
+	if !s.CanAdvance(to) {
+		return fmt.Errorf("dist: illegal shard transition %v → %v", *s, to)
+	}
+	*s = to
+	return nil
+}

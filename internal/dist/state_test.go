@@ -1,0 +1,51 @@
+package dist
+
+import "testing"
+
+func TestStateMachine(t *testing.T) {
+	all := []State{StateIdle, StateLeased, StateRunning, StateCompleted,
+		StateExpired, StateReassigned, StateQuarantined}
+
+	legal := map[State]map[State]bool{
+		StateIdle:       {StateLeased: true, StateQuarantined: true},
+		StateLeased:     {StateRunning: true, StateCompleted: true, StateExpired: true},
+		StateRunning:    {StateCompleted: true, StateExpired: true},
+		StateExpired:    {StateReassigned: true, StateQuarantined: true},
+		StateReassigned: {StateLeased: true, StateQuarantined: true},
+	}
+	for _, from := range all {
+		for _, to := range all {
+			want := legal[from][to]
+			if got := from.CanAdvance(to); got != want {
+				t.Errorf("CanAdvance(%v → %v) = %v, want %v", from, to, got, want)
+			}
+			s := from
+			err := s.advance(to)
+			if want && (err != nil || s != to) {
+				t.Errorf("advance(%v → %v) failed: %v (state now %v)", from, to, err, s)
+			}
+			if !want && (err == nil || s != from) {
+				t.Errorf("advance(%v → %v) did not refuse (err %v, state now %v)", from, to, err, s)
+			}
+		}
+	}
+}
+
+func TestStateTerminalAndString(t *testing.T) {
+	for s, want := range map[State]string{
+		StateIdle: "idle", StateLeased: "leased", StateRunning: "running",
+		StateCompleted: "completed", StateExpired: "expired",
+		StateReassigned: "reassigned", StateQuarantined: "quarantined",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+		wantTerminal := s == StateCompleted || s == StateQuarantined
+		if s.Terminal() != wantTerminal {
+			t.Errorf("%v.Terminal() = %v, want %v", s, s.Terminal(), wantTerminal)
+		}
+	}
+	if got := State(99).String(); got != "State(99)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}

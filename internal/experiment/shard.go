@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Sharding splits a sweep's cell space across distributed workers. The
+// cell space cannot be enumerated up front — cells are discovered as the
+// runners execute (max-batch searches, capacity sweeps sized from peak
+// memory) — so a shard is not a list of cells but a *hash partition* of
+// the cell key space: cell → shard is a pure function of the cell's
+// cache key, which every worker computes identically. Disjointness,
+// exhaustiveness, and determinism of the partition follow by
+// construction; TestShardPartitionProperties pins them anyway.
+//
+// A worker runs the full experiment harness with a ShardPlan filter:
+// cells it owns compute (and journal) normally, cells it does not own
+// short-circuit to placeholder stats — no simulation, no journal entry.
+// The worker's rendered table is discarded; its journal is the product.
+// The coordinator then merges every shard journal into one Cache and
+// re-renders with a merge-mode plan (Index < 0): owned-by-anyone cells
+// are cache hits, cells of quarantined shards render placeholders with
+// a footer note, and the output is byte-identical to a single-process
+// run of the same cells.
+
+// ShardOf maps a cell cache key to its owning shard in [0, count):
+// FNV-1a over the key, mod the shard count. Deterministic across
+// processes and machines — the partition is part of the coordinator/
+// worker protocol, so the hash must never depend on map order, seeds,
+// or process identity.
+func ShardOf(key string, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(count))
+}
+
+// ShardPlan filters a sweep to one shard of the cell space (worker
+// mode) or reassembles all shards (merge mode). The zero value disables
+// sharding entirely: every cell computes.
+type ShardPlan struct {
+	// Count is the total number of shards the cell space is split into.
+	// 0 disables sharding.
+	Count int
+	// Index is this worker's shard in [0, Count), or negative for merge
+	// mode: every cell is admitted, but cells owned by a quarantined
+	// shard whose result never made it into the cache render as
+	// placeholders instead of recomputing.
+	Index int
+	// Quarantined marks shards that exhausted their retries (merge mode
+	// only). Cells of a quarantined shard that are absent from the cache
+	// render placeholder stats and a table-footer note — the degradation
+	// ladder's incomplete-table semantics, not a sweep failure.
+	Quarantined map[int]bool
+}
+
+// enabled reports whether the plan filters anything.
+func (p ShardPlan) enabled() bool { return p.Count > 0 }
+
+// Validate rejects plans that would silently drop cells: a worker index
+// outside [0, Count) owns nothing (every cell would render as a
+// placeholder), and a quarantined shard index outside the range can
+// never match a cell.
+func (p ShardPlan) Validate() error {
+	if p.Count < 0 {
+		return fmt.Errorf("shard plan: negative shard count %d", p.Count)
+	}
+	if p.Count == 0 {
+		if p.Index != 0 || len(p.Quarantined) != 0 {
+			return fmt.Errorf("shard plan: index/quarantine set without a shard count")
+		}
+		return nil
+	}
+	if p.Index >= p.Count {
+		return fmt.Errorf("shard plan: index %d out of range for %d shard(s)", p.Index, p.Count)
+	}
+	for s := range p.Quarantined {
+		if s < 0 || s >= p.Count {
+			return fmt.Errorf("shard plan: quarantined shard %d out of range for %d shard(s)", s, p.Count)
+		}
+	}
+	return nil
+}
+
+// skip decides whether the cell under key short-circuits to placeholder
+// stats, and names the reason for the quarantine footer when it does.
+// cached reports whether the cache already holds a completed result for
+// the key (merge mode serves those even from quarantined shards — a
+// shard that died after journaling the cell still contributed it).
+func (p ShardPlan) skip(key string, cached bool) (bool, string) {
+	if !p.enabled() {
+		return false, ""
+	}
+	shard := ShardOf(key, p.Count)
+	switch {
+	case p.Index >= 0 && shard != p.Index:
+		return true, fmt.Sprintf("shard %d/%d not owned by this worker", shard, p.Count)
+	case p.Index < 0 && p.Quarantined[shard] && !cached:
+		return true, fmt.Sprintf("shard %d/%d quarantined", shard, p.Count)
+	}
+	return false, ""
+}

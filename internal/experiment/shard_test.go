@@ -1,0 +1,330 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"sentinel/internal/metrics"
+)
+
+// TestShardOfProperties pins the partition function itself: every key
+// maps to exactly one shard in range, the mapping is deterministic
+// across calls, and it holds for degenerate shard counts — one shard,
+// and far more shards than keys.
+func TestShardOfProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := make([]string, 200)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("run|model%d|b%d|preset|f%d|s0|pol%d", rng.Intn(7), 1<<rng.Intn(8), rng.Int63(), rng.Intn(4))
+	}
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		owned := map[int]int{}
+		for _, k := range keys {
+			s := ShardOf(k, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d, out of range", k, n, s)
+			}
+			if again := ShardOf(k, n); again != s {
+				t.Fatalf("ShardOf(%q, %d) nondeterministic: %d then %d", k, n, s, again)
+			}
+			owned[s]++
+		}
+		// Exhaustive and disjoint by construction: each key counted once.
+		total := 0
+		for _, c := range owned {
+			total += c
+		}
+		if total != len(keys) {
+			t.Fatalf("n=%d: partition covers %d of %d keys", n, total, len(keys))
+		}
+	}
+	// The hash is part of the coordinator/worker protocol: pin concrete
+	// values so an accidental algorithm change cannot slip through.
+	for _, g := range []struct {
+		key   string
+		n, at int
+	}{
+		{"run|resnet32|b128|optane|f1|s2|sentinel|n5|mil0|tr0", 3, 1},
+		{"run|vgg16|b64|optane|f1|s2|sentinel|n5|mil0|tr0", 3, 2},
+		{"", 7, 2},
+	} {
+		if got := ShardOf(g.key, g.n); got != g.at {
+			t.Fatalf("ShardOf(%q, %d) = %d, want %d (FNV-1a changed?)", g.key, g.n, got, g.at)
+		}
+	}
+}
+
+func TestShardPlanValidate(t *testing.T) {
+	for _, tc := range []struct {
+		plan ShardPlan
+		ok   bool
+	}{
+		{ShardPlan{}, true},
+		{ShardPlan{Count: 3, Index: 0}, true},
+		{ShardPlan{Count: 3, Index: 2}, true},
+		{ShardPlan{Count: 3, Index: -1, Quarantined: map[int]bool{1: true}}, true},
+		{ShardPlan{Count: -1}, false},
+		{ShardPlan{Index: 1}, false},
+		{ShardPlan{Count: 3, Index: 3}, false},
+		{ShardPlan{Count: 3, Index: -1, Quarantined: map[int]bool{5: true}}, false},
+	} {
+		err := tc.plan.Validate()
+		if (err == nil) != tc.ok {
+			t.Fatalf("Validate(%+v) = %v, want ok=%v", tc.plan, err, tc.ok)
+		}
+	}
+}
+
+// shardCells runs experiment id with the given shard plan on a fresh
+// cache and returns the set of cell keys that actually computed.
+func shardCells(t *testing.T, id string, plan ShardPlan) map[string]bool {
+	t.Helper()
+	var mu sync.Mutex
+	computed := map[string]bool{}
+	o := Options{Quick: true, Steps: 2, Shard: plan}
+	o.cellHook = func(c cellRun) {
+		mu.Lock()
+		computed[c.key()] = true
+		mu.Unlock()
+	}
+	if _, err := Run(id, o); err != nil {
+		t.Fatalf("%s with plan %+v: %v", id, plan, err)
+	}
+	return computed
+}
+
+// TestShardPlanCover holds the worker-mode filter to the partition
+// property end to end: across all shards of a real experiment, every
+// cell the unsharded run computes is computed by exactly one shard —
+// disjoint, exhaustive, and agreeing with ShardOf.
+func TestShardPlanCover(t *testing.T) {
+	full := shardCells(t, "fig7", ShardPlan{})
+	if len(full) == 0 {
+		t.Fatal("unsharded run computed no cells")
+	}
+	for _, n := range []int{1, 3} {
+		owner := map[string]int{}
+		for i := 0; i < n; i++ {
+			part := shardCells(t, "fig7", ShardPlan{Count: n, Index: i})
+			for k := range part {
+				if prev, dup := owner[k]; dup {
+					t.Fatalf("n=%d: cell %s computed by shards %d and %d", n, k, prev, i)
+				}
+				owner[k] = i
+				if want := ShardOf(k, n); want != i {
+					t.Fatalf("n=%d: shard %d computed cell %s owned by %d", n, i, k, want)
+				}
+			}
+		}
+		if len(owner) != len(full) {
+			t.Fatalf("n=%d: shards covered %d cells, unsharded run has %d", n, len(owner), len(full))
+		}
+		for k := range full {
+			if _, ok := owner[k]; !ok {
+				t.Fatalf("n=%d: cell %s computed by no shard", n, k)
+			}
+		}
+	}
+}
+
+// runShardJournals executes one experiment as count sharded worker runs,
+// returning each worker's journal image.
+func runShardJournals(t *testing.T, id string, count int) [][]byte {
+	t.Helper()
+	images := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := Options{Quick: true, Steps: 2, Shard: ShardPlan{Count: count, Index: i}, Journal: j}
+		if _, err := Run(id, o); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, count, err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		img, err := os.ReadFile(filepath.Join(dir, journalFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		images[i] = img
+	}
+	return images
+}
+
+// TestShardMergeByteIdentity is the tentpole's correctness core in
+// miniature: split an experiment across 3 sharded worker runs, merge
+// their journals into one cache, re-render in merge mode, and require
+// the result byte-identical to an uninterrupted single-process run —
+// with every cell a cache hit (nothing recomputes on the coordinator).
+func TestShardMergeByteIdentity(t *testing.T) {
+	const id = "fig7"
+	want, err := Run(id, Options{Quick: true, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	for i, img := range runShardJournals(t, id, 3) {
+		restored, skipped, err := MergeJournal(c, img)
+		if err != nil {
+			t.Fatalf("merge shard %d: %v", i, err)
+		}
+		if skipped != 0 {
+			t.Fatalf("merge shard %d: %d record(s) skipped in a clean journal", i, skipped)
+		}
+		if restored == 0 {
+			t.Fatalf("merge shard %d: journal restored no cells", i)
+		}
+	}
+
+	o := Options{Quick: true, Steps: 2, Cache: c, Shard: ShardPlan{Count: 3, Index: -1}}
+	o.cellHook = func(c cellRun) {
+		t.Errorf("merge pass recomputed cell %s", c.key())
+	}
+	got, err := Run(id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("merged table differs from single-process run:\n--- merged ---\n%s\n--- single ---\n%s", got, want)
+	}
+}
+
+// TestShardMergeQuarantined pins the degradation ladder: when one
+// shard's journal never arrives (every retry exhausted), the merge pass
+// still renders — quarantined cells as placeholders — with the
+// incomplete-table footer naming the shard, instead of failing or
+// silently recomputing.
+func TestShardMergeQuarantined(t *testing.T) {
+	const id = "fig7"
+	images := runShardJournals(t, id, 3)
+
+	c := NewCache()
+	for i, img := range images {
+		if i == 2 {
+			continue // shard 2 was lost
+		}
+		if _, _, err := MergeJournal(c, img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	o := Options{Quick: true, Steps: 2, Cache: c,
+		Shard: ShardPlan{Count: 3, Index: -1, Quarantined: map[int]bool{2: true}}}
+	o.cellHook = func(c cellRun) {
+		t.Errorf("quarantined merge recomputed cell %s", c.key())
+	}
+	got, err := Run(id, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notes := strings.Join(got.Notes, "\n")
+	if !strings.Contains(notes, "TABLE INCOMPLETE") {
+		t.Fatalf("quarantined merge lacks incomplete-table marker; notes:\n%s", notes)
+	}
+	if !strings.Contains(notes, "shard 2/3 quarantined") {
+		t.Fatalf("quarantined merge does not name the lost shard; notes:\n%s", notes)
+	}
+}
+
+// TestMergeJournalDuplicateDeterministic is the regression pin for
+// cross-journal duplicates: when two worker journals hold the same cell
+// (a reassigned shard's salvage plus its successor's rerun), merge
+// order decides and the first write wins — byte-for-byte, every time.
+func TestMergeJournalDuplicateDeterministic(t *testing.T) {
+	img := func(stats *metrics.RunStats) []byte {
+		rec, err := encodeJournalRecord(journalEntry{Key: "run|dup", Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(journalMagic), rec...)
+	}
+	first, second := testStats(1), testStats(2)
+
+	c := NewCache()
+	if restored, _, err := MergeJournal(c, img(first)); err != nil || restored != 1 {
+		t.Fatalf("first merge: restored %d, err %v", restored, err)
+	}
+	if restored, skipped, err := MergeJournal(c, img(second)); err != nil || restored != 0 || skipped != 0 {
+		t.Fatalf("duplicate merge: restored %d skipped %d err %v, want 0/0/nil", restored, skipped, err)
+	}
+	v, err := c.do("run|dup", func() (any, error) {
+		t.Fatal("merged cell recomputed")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, first) {
+		t.Fatal("duplicate merge did not keep the first-written stats")
+	}
+}
+
+// FuzzMergeJournal extends the decoder fuzzer across the cross-merge
+// path: merging two arbitrary journal images — truncated, bit-flipped,
+// duplicate-keyed — never panics, and whatever image A successfully
+// restored is never overwritten by image B (first-write wins).
+func FuzzMergeJournal(f *testing.F) {
+	recA, errA := encodeJournalRecord(journalEntry{Key: "k", Stats: testStats(1)})
+	recB, errB := encodeJournalRecord(journalEntry{Key: "k", Stats: testStats(2)})
+	recC, errC := encodeJournalRecord(journalEntry{Key: "other", Stats: testStats(3)})
+	if errA != nil || errB != nil || errC != nil {
+		f.Fatal(errA, errB, errC)
+	}
+	a := append([]byte(journalMagic), recA...)
+	b := append([]byte(journalMagic), recB...)
+	f.Add(a, b)                                  // duplicate key across journals
+	f.Add(a, append(b[:len(b):len(b)], recC...)) // duplicate + fresh key
+	f.Add(a[:len(a)-4], b)                       // truncated tail in A
+	f.Add(a, b[:11])                             // dangling header in B
+	flipped := append([]byte{}, b...)
+	flipped[len(flipped)-1] ^= 0x40
+	f.Add(a, flipped) // bit-flipped payload in B
+	f.Add([]byte{}, []byte(journalMagic))
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		// Expected survivors: first occurrence of each key in A, then
+		// first-in-B for keys A does not hold.
+		want := map[string]*metrics.RunStats{}
+		for _, img := range [][]byte{a, b} {
+			decodeJournal(img, func(e journalEntry) bool {
+				if _, ok := want[e.Key]; !ok {
+					want[e.Key] = e.Stats
+				}
+				return true
+			})
+		}
+		c := NewCache()
+		for _, img := range [][]byte{a, b} {
+			restored, skipped, err := MergeJournal(c, img)
+			if err != nil && !errors.Is(err, ErrNotJournal) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			if restored < 0 || skipped < 0 {
+				t.Fatalf("negative counts: %d/%d", restored, skipped)
+			}
+		}
+		for key, stats := range want {
+			if !c.Has(key) {
+				t.Fatalf("decodable key %q missing after merge", key)
+			}
+			recomputed := false
+			v, err := c.do(key, func() (any, error) { recomputed = true; return nil, nil })
+			if err != nil || recomputed {
+				t.Fatalf("merged key %q not served from cache (err %v)", key, err)
+			}
+			if !reflect.DeepEqual(v, stats) {
+				t.Fatalf("key %q: merge did not keep the first-written stats", key)
+			}
+		}
+	})
+}
