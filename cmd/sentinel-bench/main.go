@@ -128,7 +128,7 @@ func main() {
 		}
 	}
 
-	//lint:allow determinism CLI-only wall-clock for the sweep timing line on stderr; table bytes never depend on it
+	//lint:allow determinism: CLI-only wall-clock for the sweep timing line on stderr; table bytes never depend on it
 	sweepStart := time.Now()
 	ids := experiment.DefaultIDs()
 	if *exp != "all" {
@@ -145,7 +145,7 @@ func main() {
 			break
 		}
 		id = strings.TrimSpace(id)
-		//lint:allow determinism CLI-only wall-clock for the per-experiment timing line; csv/json formats omit it
+		//lint:allow determinism: CLI-only wall-clock for the per-experiment timing line; csv/json formats omit it
 		start := time.Now()
 		t, err := experiment.Run(id, opts)
 		if sp != nil {
@@ -168,13 +168,13 @@ func main() {
 			}
 		default:
 			fmt.Println(t)
-			//lint:allow determinism text-format timing line is explicitly wall-clock; the crash-resume CI job compares csv, which omits it
+			//lint:allow determinism: text-format timing line is explicitly wall-clock; the crash-resume CI job compares csv, which omits it
 			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
 	if sp != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %s across %d experiments (wall-clock %v)\n",
-			//lint:allow determinism stderr sweep summary is explicitly labelled wall-clock
+			//lint:allow determinism: stderr sweep summary is explicitly labelled wall-clock
 			sp.Summary(), ran, time.Since(sweepStart).Round(time.Millisecond))
 	}
 	if opts.Cache != nil && (*progress || opts.Journal != nil) {

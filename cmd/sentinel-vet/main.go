@@ -3,8 +3,15 @@
 // bit-determinism (no wall-clock time or unseeded randomness in
 // simulation code, no order-sensitive map iteration), unit safety
 // (bytes never silently become pages), the closed trace schema, sentinel
-// error wrapping, and context conventions. See docs/LINTING.md for the
-// checks and the //lint:allow suppression syntax.
+// error wrapping, and context conventions — plus the concurrency
+// discipline of the serving/dist layer: mutex hygiene (locksafe),
+// goroutine exit paths (goroleak), all-or-nothing atomic access
+// (atomicmix), and declared state machines (statemach). The eleven
+// checks run module-wide in one invocation: packages load in
+// dependency order with cross-package type identity, so module-level
+// analyzers can follow a types.Object across package boundaries. See
+// docs/LINTING.md for the checks and the //lint:allow suppression
+// syntax.
 //
 // Usage:
 //

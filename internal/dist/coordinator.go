@@ -234,7 +234,6 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 				return err
 			}
 			s.failures = 0
-			shards[sh].State = StateCompleted
 			shards[sh].Cells = o.st.Cells
 			shards[sh].Err = ""
 			shards[sh].Journals = append(shards[sh].Journals, o.st.Journal)
@@ -283,7 +282,6 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 			if err := states[sh].advance(StateQuarantined); err != nil {
 				return err
 			}
-			shards[sh].State = StateQuarantined
 			c.logf("quarantining %s after %d attempt(s): %v", shardName(sh), shards[sh].Attempts, o.err)
 			finished++
 			return nil
@@ -312,7 +310,6 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 				if err := states[i].advance(StateQuarantined); err != nil {
 					return nil, err
 				}
-				shards[i].State = StateQuarantined
 				if shards[i].Err == "" {
 					shards[i].Err = "no workers left"
 				}
@@ -350,6 +347,9 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 		}
 	}
 
+	// The validated state machine is the single source of truth: this
+	// loop is the only writer of ShardResult.State, so a report can
+	// never disagree with the transitions advance() accepted.
 	res := &Result{Shards: shards, Quarantined: map[int]bool{}}
 	for i, st := range states {
 		shards[i].State = st
@@ -378,14 +378,14 @@ func (c *Coordinator) supervise(ctx context.Context, w Worker, t Task) (last Att
 		return AttemptStatus{}, true, fmt.Errorf("%w: start failed: %v", ErrLeaseExpired, err)
 	}
 	defer at.Kill()
-	//lint:allow determinism lease supervision is host wall-clock by definition; it never feeds a simulated quantity
+	//lint:allow determinism: lease supervision is host wall-clock by definition; it never feeds a simulated quantity
 	start := time.Now()
 	lastBeat := start
 	tick := time.NewTicker(cfg.Heartbeat)
 	defer tick.Stop()
 	for {
 		st, perr := at.Poll(actx)
-		//lint:allow determinism lease supervision is host wall-clock by definition; it never feeds a simulated quantity
+		//lint:allow determinism: lease supervision is host wall-clock by definition; it never feeds a simulated quantity
 		now := time.Now()
 		if perr != nil {
 			if cerr := ctx.Err(); cerr != nil {

@@ -12,6 +12,12 @@ import "fmt"
 //	            └───────────┴─► expired ──► reassigned ──► leased …
 //	                                │
 //	                                └─► quarantined
+//
+// sentinel-vet's statemach analyzer enforces the machine shape: every
+// default-less switch over State handles all seven states, and only
+// advance may write a State constant into durable storage.
+//
+//lint:statemach transitions=advance
 type State int
 
 const (

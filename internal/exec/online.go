@@ -27,6 +27,12 @@ import (
 // mode.
 
 // CtlState is one state of the online controller.
+//
+// sentinel-vet's statemach analyzer enforces the machine shape: every
+// default-less switch over CtlState handles all six states, and only
+// transition may write a CtlState constant into durable storage.
+//
+//lint:statemach transitions=transition
 type CtlState int
 
 // Controller states, in escalation order. CtlReplanning is transient:
@@ -334,6 +340,13 @@ func (rt *Runtime) controllerStep(st *metrics.StepStats) error {
 		c.cooldown = c.cfg.Cooldown
 		rt.transition(st.Step, CtlRecovered, "plan swapped")
 		return nil
+
+	case CtlReplanning:
+		// Transient: the rebuild runs to completion inside the
+		// CtlReprofiling arm above, so a step must never close in this
+		// state. Reaching it means a transition edge was lost — fail
+		// loudly rather than judge a step against a half-swapped plan.
+		return fmt.Errorf("exec: controller closed step %d in transient state %v", st.Step, c.state)
 	}
 	return nil
 }

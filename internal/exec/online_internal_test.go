@@ -1,0 +1,26 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"sentinel/internal/metrics"
+)
+
+// TestControllerStepRejectsTransientReplanning pins the statemach fix:
+// CtlReplanning is a transient state that must never span a step
+// boundary, and controllerStep now says so explicitly instead of
+// falling through an unhandled switch arm and silently judging a step
+// against a half-swapped plan.
+func TestControllerStepRejectsTransientReplanning(t *testing.T) {
+	rt := &Runtime{ctl: &onlineController{state: CtlReplanning}}
+	err := rt.controllerStep(&metrics.StepStats{Step: 7})
+	if err == nil {
+		t.Fatal("controllerStep accepted a step closed in the transient replanning state")
+	}
+	for _, want := range []string{"replanning", "step 7"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

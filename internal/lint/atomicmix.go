@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces all-or-nothing atomicity: a variable or
+// field that is accessed through sync/atomic anywhere in the module
+// must be accessed atomically everywhere. One plain load racing one
+// atomic store is still a data race — the atomic half only protects
+// itself — and these races hide because the plain access usually sits
+// in a "read-mostly" path the race detector rarely interleaves.
+//
+// This is a module-level analyzer: atomic sites are collected from the
+// whole loaded package set (ModulePass.All), so a counter declared in
+// internal/metrics and updated atomically there is protected against a
+// plain read from any importing package. Composite-literal keys,
+// declarations, and the address-of arguments of the atomic calls
+// themselves are not accesses and are not flagged. Typed atomics
+// (atomic.Int64 and friends) are immune by construction and invisible
+// to this check.
+var AtomicMixAnalyzer = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "a variable accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	RunModule: runAtomicMix,
+}
+
+func runAtomicMix(pass *ModulePass) {
+	// Pass 1 (facts): every object whose address is passed to a
+	// sync/atomic function, anywhere in the loaded module, with one
+	// representative site for the message. Also remember the ident
+	// nodes inside those calls — they are sanctioned uses.
+	atomicObjs := map[types.Object]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, pkg := range pass.All {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pkgPath, ok := importedPackage(pkg.Info, sel); !ok || pkgPath != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := arg.(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					obj := addressedObject(pkg.Info, u.X)
+					if obj == nil {
+						continue
+					}
+					if _, seen := atomicObjs[obj]; !seen {
+						atomicObjs[obj] = u.Pos()
+					}
+					markIdents(u.X, sanctioned)
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2 (checks): plain uses of those objects in the packages
+	// under analysis.
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			compositeKeys := compositeLitKeys(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil || sanctioned[id] || compositeKeys[id] {
+					return true
+				}
+				if firstSite, isAtomic := atomicObjs[obj]; isAtomic {
+					pass.Reportf(id.Pos(),
+						"%s is accessed atomically (e.g. at %s) but plainly here; use sync/atomic for every access",
+						obj.Name(), pass.Fset.Position(firstSite))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addressedObject resolves the object named by the operand of an
+// address-of expression: a plain identifier (&counter) or the field of
+// a selector chain (&s.hits).
+func addressedObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	case *ast.ParenExpr:
+		return addressedObject(info, e.X)
+	}
+	return nil
+}
+
+// markIdents records every identifier under e as sanctioned (part of
+// an atomic call's own argument).
+func markIdents(e ast.Expr, set map[*ast.Ident]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			set[id] = true
+		}
+		return true
+	})
+}
+
+// compositeLitKeys collects the key identifiers of composite literals
+// in a file: in S{hits: 0} the `hits` ident resolves to the field
+// object but is initialization, not access.
+func compositeLitKeys(f *ast.File) map[*ast.Ident]bool {
+	keys := map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

@@ -58,7 +58,7 @@ func runDeterminism(pass *Pass) {
 				switch sel.Sel.Name {
 				case "Now", "Since":
 					pass.Reportf(call.Pos(),
-						"wall-clock time.%s in simulation code; use simtime for simulated durations (annotate //lint:allow determinism <reason> if this is genuinely host-side)",
+						"wall-clock time.%s in simulation code; use simtime for simulated durations (annotate //lint:allow determinism: <reason> if this is genuinely host-side)",
 						sel.Sel.Name)
 				}
 			case "math/rand", "math/rand/v2":

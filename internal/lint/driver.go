@@ -27,11 +27,14 @@ type suppressions map[allowKey]map[string]bool
 
 // allowPrefix is the suppression annotation marker. The full syntax is
 //
-//	//lint:allow <check> <reason...>
+//	//lint:allow <check>: <reason...>
 //
 // placed either on the flagged line (trailing comment) or on the line
-// immediately above it. The reason is mandatory: an unexplained
-// suppression is a review problem, not an engineering decision.
+// immediately above it. The `: reason` suffix is mandatory: an
+// unexplained suppression is a review problem, not an engineering
+// decision, and the colon keeps the check name unambiguous — the
+// driver errors on bare suppressions instead of guessing where the
+// name ends and the excuse begins.
 const allowPrefix = "lint:allow"
 
 // scanSuppressions walks a file's comments collecting //lint:allow
@@ -56,23 +59,28 @@ func scanSuppressions(p *Package, fset interface {
 				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
 					continue // e.g. lint:allowance — not our directive
 				}
-				fields := strings.Fields(rest)
+				name, reason, hasColon := strings.Cut(strings.TrimSpace(rest), ":")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
 				switch {
-				case len(fields) == 0:
+				case name == "":
 					report(Diagnostic{File: file, Line: line, Col: 1, Check: DirectiveCheck,
-						Message: "malformed //lint:allow: missing check name and reason"})
-				case len(fields) == 1:
+						Message: "malformed //lint:allow: missing check name and reason (syntax: //lint:allow <check>: <reason>)"})
+				case len(strings.Fields(name)) > 1:
 					report(Diagnostic{File: file, Line: line, Col: 1, Check: DirectiveCheck,
-						Message: fmt.Sprintf("malformed //lint:allow %s: missing reason (syntax: //lint:allow <check> <reason>)", fields[0])})
-				case !known[fields[0]]:
+						Message: fmt.Sprintf("malformed //lint:allow %s: the check name must be followed by ': <reason>' (syntax: //lint:allow <check>: <reason>)", strings.Fields(name)[0])})
+				case !hasColon || reason == "":
 					report(Diagnostic{File: file, Line: line, Col: 1, Check: DirectiveCheck,
-						Message: fmt.Sprintf("//lint:allow names unknown check %q", fields[0])})
+						Message: fmt.Sprintf("bare //lint:allow %s: missing ': <reason>' suffix (syntax: //lint:allow <check>: <reason>)", name)})
+				case !known[name]:
+					report(Diagnostic{File: file, Line: line, Col: 1, Check: DirectiveCheck,
+						Message: fmt.Sprintf("//lint:allow names unknown check %q", name)})
 				default:
 					k := allowKey{file, line}
 					if sup[k] == nil {
 						sup[k] = map[string]bool{}
 					}
-					sup[k][fields[0]] = true
+					sup[k][name] = true
 				}
 			}
 		}
@@ -101,13 +109,9 @@ func Run(loader *Loader, patterns []string, analyzers []*Analyzer) ([]Diagnostic
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		pkg, err := loader.LoadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
+	pkgs, err := loader.LoadAll(dirs)
+	if err != nil {
+		return nil, err
 	}
 	return RunPackages(loader, pkgs, analyzers)
 }
@@ -133,6 +137,9 @@ func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diag
 			diags = append(diags, d)
 		})
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Fset:    loader.Fset,
 				Files:   pkg.Files,
@@ -147,6 +154,50 @@ func RunPackages(loader *Loader, pkgs []*Package, analyzers []*Analyzer) ([]Diag
 				},
 			}
 			a.Run(pass)
+		}
+	}
+
+	// Module-level analyzers run once over the whole set. Suppressions
+	// from dependency packages outside the analysis set also apply: a
+	// fact-declaring package may annotate its own exception.
+	moduleAnalyzers := false
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			moduleAnalyzers = true
+			break
+		}
+	}
+	if moduleAnalyzers {
+		all := loader.Loaded()
+		inPkgs := map[string]bool{}
+		for _, pkg := range pkgs {
+			inPkgs[pkg.Path] = true
+		}
+		for _, pkg := range all {
+			if !inPkgs[pkg.Path] {
+				scanSuppressions(pkg, nodePositioner{loader, relFile}, known, sup, func(Diagnostic) {
+					// Malformed directives in packages outside the
+					// analysis set are that package's problem; they are
+					// reported when it is analyzed directly.
+				})
+			}
+		}
+		for _, a := range analyzers {
+			if a.RunModule == nil {
+				continue
+			}
+			pass := &ModulePass{
+				Fset:    loader.Fset,
+				Pkgs:    pkgs,
+				All:     all,
+				ModRoot: loader.ModRoot,
+				check:   a.Name,
+				report: func(d Diagnostic) {
+					d.File = relFile(d.File)
+					diags = append(diags, d)
+				},
+			}
+			a.RunModule(pass)
 		}
 	}
 

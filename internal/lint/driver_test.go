@@ -47,12 +47,12 @@ func TestSuppressionParsing(t *testing.T) {
 import "time"
 
 func a() time.Time {
-	//lint:allow determinism host-side timestamp for log lines
+	//lint:allow determinism: host-side timestamp for log lines
 	return time.Now()
 }
 
 func b() time.Time {
-	return time.Now() //lint:allow determinism trailing annotation form
+	return time.Now() //lint:allow determinism: trailing annotation form
 }
 
 func c() time.Time {
@@ -66,7 +66,17 @@ func d() time.Time {
 }
 
 func e() time.Time {
-	//lint:allow nosuchcheck because reasons
+	//lint:allow nosuchcheck: because reasons
+	return time.Now()
+}
+
+func f() time.Time {
+	//lint:allow determinism pre-colon reason prose without the separator
+	return time.Now()
+}
+
+func g() time.Time {
+	//lint:allow determinism:
 	return time.Now()
 }
 `)
@@ -84,15 +94,18 @@ func e() time.Time {
 		}
 	}
 
-	// a and b are suppressed; c, d, e are not (their directives are
-	// malformed or name an unknown check), so three findings survive.
-	if len(determinism) != 3 {
-		t.Errorf("want 3 surviving determinism findings (suppressions in c/d/e are broken), got %d:\n%v", len(determinism), determinism)
+	// a and b are suppressed; c through g are not (their directives are
+	// malformed, bare, or name an unknown check), so five findings
+	// survive.
+	if len(determinism) != 5 {
+		t.Errorf("want 5 surviving determinism findings (suppressions in c/d/e/f/g are broken), got %d:\n%v", len(determinism), determinism)
 	}
 	wantDirectives := []string{
 		"missing check name and reason",
-		"missing reason",
+		"missing ': <reason>' suffix",
 		`unknown check "nosuchcheck"`,
+		"the check name must be followed by ': <reason>'",
+		"missing ': <reason>' suffix",
 	}
 	if len(directive) != len(wantDirectives) {
 		t.Fatalf("want %d directive diagnostics, got %d:\n%v", len(wantDirectives), len(directive), directive)
@@ -112,7 +125,7 @@ func TestSuppressionDoesNotLeak(t *testing.T) {
 import "time"
 
 func a() time.Time {
-	//lint:allow maporder wrong check on purpose
+	//lint:allow maporder: wrong check on purpose
 	return time.Now()
 }
 `)
@@ -200,6 +213,201 @@ func tick() time.Time { return time.Now() }
 	d := diags[0]
 	if d.File != "pkg/pkg.go" || d.Check != "determinism" || d.Line != 5 {
 		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+// writeMultiModule lays out a throwaway module with several packages
+// (name -> source) and returns its root.
+func writeMultiModule(t *testing.T, pkgs map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range pkgs {
+		if err := os.MkdirAll(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name, name+".go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// crossPkgModule is a two-package module where the finding in app is
+// only visible with type information from core: core's counter field
+// is updated atomically, app reads it plainly.
+var crossPkgModule = map[string]string{
+	"core": `package core
+
+import "sync/atomic"
+
+type Stats struct {
+	Hits int64
+}
+
+func (s *Stats) Inc() { atomic.AddInt64(&s.Hits, 1) }
+`,
+	"app": `package app
+
+import "tmpmod/core"
+
+func Peek(s *core.Stats) int64 {
+	return s.Hits
+}
+`,
+}
+
+// TestCrossPackageFinding: analyzing only app must still surface the
+// atomicmix finding, because the module driver loads core as a
+// dependency and reads the atomic-access fact from it.
+func TestCrossPackageFinding(t *testing.T) {
+	dir := writeMultiModule(t, crossPkgModule)
+	loader, err := NewLoader(dir, "tmpmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, err := ByName([]string{"atomicmix"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(loader, []string{"app"}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 cross-package atomicmix finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.File != "app/app.go" || d.Check != "atomicmix" || !strings.Contains(d.Message, "Hits") {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+	if !strings.Contains(d.Message, "core/core.go") {
+		t.Errorf("finding %q does not cite the atomic site in the imported package", d.Message)
+	}
+}
+
+// TestLoadAllDependencyOrder: LoadAll returns requested packages in
+// dependency order (a package after everything it imports), with the
+// same order on every run regardless of goroutine scheduling.
+func TestLoadAllDependencyOrder(t *testing.T) {
+	mod := map[string]string{
+		"base": `package base
+
+func Zero() int { return 0 }
+`,
+		"mid": `package mid
+
+import "tmpmod/base"
+
+func One() int { return base.Zero() + 1 }
+`,
+		"top": `package top
+
+import (
+	"tmpmod/base"
+	"tmpmod/mid"
+)
+
+func Two() int { return base.Zero() + mid.One() }
+`,
+		"side": `package side
+
+import "tmpmod/base"
+
+func Three() int { return base.Zero() + 3 }
+`,
+	}
+	dir := writeMultiModule(t, mod)
+
+	var first []string
+	const rounds = 5
+	for round := 0; round < rounds; round++ {
+		loader, err := NewLoader(dir, "tmpmod")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs, err := loader.ExpandPatterns([]string{"./..."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll(dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []string
+		index := map[string]int{}
+		for i, p := range pkgs {
+			order = append(order, p.Path)
+			index[p.Path] = i
+		}
+		deps := map[string][]string{
+			"tmpmod/mid":  {"tmpmod/base"},
+			"tmpmod/top":  {"tmpmod/base", "tmpmod/mid"},
+			"tmpmod/side": {"tmpmod/base"},
+		}
+		for pkg, ds := range deps {
+			for _, dep := range ds {
+				if index[dep] >= index[pkg] {
+					t.Fatalf("round %d: %s (pos %d) must follow its dependency %s (pos %d); order %v",
+						round, pkg, index[pkg], dep, index[dep], order)
+				}
+			}
+		}
+		if round == 0 {
+			first = order
+		} else if strings.Join(order, " ") != strings.Join(first, " ") {
+			t.Fatalf("round %d: order %v differs from first round %v", round, order, first)
+		}
+	}
+}
+
+// TestRunDeterministicUnderParallelLoad: the full driver produces
+// byte-identical diagnostics run after run on a module wide enough to
+// exercise the parallel load path.
+func TestRunDeterministicUnderParallelLoad(t *testing.T) {
+	mod := map[string]string{}
+	// base plus fan-out packages that each import base and carry one
+	// finding, so diagnostics span many concurrently-loaded packages.
+	mod["base"] = `package base
+
+func Zero() int { return 0 }
+`
+	for _, name := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		mod[name] = `package ` + name + `
+
+import (
+	"time"
+
+	"tmpmod/base"
+)
+
+func Tick() time.Time {
+	_ = base.Zero()
+	return time.Now()
+}
+`
+	}
+	dir := writeMultiModule(t, mod)
+
+	var first string
+	for round := 0; round < 3; round++ {
+		loader, err := NewLoader(dir, "tmpmod")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := Run(loader, []string{"./..."}, Analyzers())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 5 {
+			t.Fatalf("round %d: want 5 determinism findings, got %v", round, diags)
+		}
+		var b strings.Builder
+		WriteText(&b, diags)
+		if round == 0 {
+			first = b.String()
+		} else if b.String() != first {
+			t.Fatalf("round %d output differs:\n%s\nvs first:\n%s", round, b.String(), first)
+		}
 	}
 }
 

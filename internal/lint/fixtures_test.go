@@ -137,3 +137,39 @@ func TestTraceKindsFixtures(t *testing.T)  { runFixtures(t, TraceKindsAnalyzer) 
 func TestErrWrapFixtures(t *testing.T)     { runFixtures(t, ErrWrapAnalyzer) }
 func TestCtxFirstFixtures(t *testing.T)    { runFixtures(t, CtxFirstAnalyzer) }
 func TestHotPathFixtures(t *testing.T)     { runFixtures(t, HotPathAnalyzer) }
+func TestLockSafeFixtures(t *testing.T)    { runFixtures(t, LockSafeAnalyzer) }
+func TestGoroLeakFixtures(t *testing.T)    { runFixtures(t, GoroLeakAnalyzer) }
+func TestAtomicMixFixtures(t *testing.T)   { runFixtures(t, AtomicMixAnalyzer) }
+func TestStateMachFixtures(t *testing.T)   { runFixtures(t, StateMachAnalyzer) }
+
+// TestFixtureDrift is the CI drift gate: every analyzer in the suite
+// must have a fixture directory with at least one positive expectation,
+// so a new analyzer cannot land untested and a renamed analyzer cannot
+// silently orphan its fixtures. (The per-analyzer fixture tests above
+// enforce the exact-match half of drift: a changed message or a stale
+// want fails them.)
+func TestFixtureDrift(t *testing.T) {
+	for _, a := range Analyzers() {
+		root := filepath.Join("testdata", "src", a.Name)
+		if st, err := os.Stat(root); err != nil || !st.IsDir() {
+			t.Errorf("analyzer %q has no fixture directory at %s", a.Name, root)
+			continue
+		}
+		if wants := parseWants(t, root); len(wants) == 0 {
+			t.Errorf("analyzer %q fixtures carry no want expectations; the check is unexercised", a.Name)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !known[e.Name()] {
+			t.Errorf("fixture directory %q matches no analyzer; stale after a rename?", e.Name())
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Package a declares a counter updated through sync/atomic. The
+// atomicmix fixture's point is cross-package: the mixed plain access
+// lives in package b and is only detectable with this package's type
+// information.
+package a
+
+import "sync/atomic"
+
+// Counter mixes an atomically-maintained field with ordinary ones.
+type Counter struct {
+	Hits int64
+	Name string
+}
+
+// Inc is the sanctioned write path.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.Hits, 1)
+}
+
+// Read is the sanctioned read path.
+func (c *Counter) Read() int64 {
+	return atomic.LoadInt64(&c.Hits)
+}

@@ -1,0 +1,27 @@
+// Package b imports the counter and mixes access modes: the finding
+// here requires knowing (from package a's sources) that Hits is an
+// atomic field.
+package b
+
+import "fix/a"
+
+// Mixed reads the atomic field plainly — a data race with a.Inc.
+func Mixed(c *a.Counter) int64 {
+	return c.Hits // want `Hits is accessed atomically .* but plainly here`
+}
+
+// Negative: going through the sanctioned accessor.
+func Fine(c *a.Counter) int64 {
+	return c.Read()
+}
+
+// Negative (near miss): a plain field of the same struct is not
+// infected by its atomic sibling.
+func Label(c *a.Counter) string {
+	return c.Name
+}
+
+// Negative: composite-literal keys are initialization, not access.
+func Build() a.Counter {
+	return a.Counter{Hits: 0, Name: "fresh"}
+}

@@ -34,6 +34,6 @@ func timers() time.Duration {
 // progress is negative: an allow annotation with a reason suppresses
 // the finding, exactly as the metrics progress display does.
 func progress() time.Time {
-	//lint:allow determinism host-side progress display, never feeds simulated quantities
+	//lint:allow determinism: host-side progress display, never feeds simulated quantities
 	return time.Now()
 }

@@ -67,6 +67,6 @@ func stringMatch(err error) bool {
 }
 
 func suppressed(err error) bool {
-	//lint:allow errwrap comparing a just-created local error identity in a test helper
+	//lint:allow errwrap: comparing a just-created local error identity in a test helper
 	return err == ErrOOM
 }

@@ -1,0 +1,71 @@
+// Package work exercises the goroleak analyzer: goroutines must have a
+// visible exit path.
+package work
+
+import "context"
+
+func step()        {}
+func cleanup()     {}
+func compute() int { return 0 }
+
+// spin launches a goroutine that can never exit, not even on shutdown.
+func spin() {
+	go func() {
+		for { // want `goroutine spins in a .for. loop with no return or break`
+			step()
+		}
+	}()
+}
+
+// pinned blocks forever if nobody ever closes done.
+func pinned(done chan struct{}) {
+	go func() {
+		<-done // want `goroutine blocks on a bare channel receive`
+		cleanup()
+	}()
+}
+
+// Negative: the canonical worker loop — the ctx.Done() case returns.
+func polite(ctx context.Context, workCh chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case w := <-workCh:
+				_ = w
+			}
+		}
+	}()
+}
+
+// Negative (near miss): a loop that exits via break is not a spin.
+func bounded(stop chan struct{}) {
+	go func() {
+		for {
+			if _, ok := <-stop; !ok {
+				break
+			}
+			step()
+		}
+	}()
+}
+
+// Negative: channel sends are the buffered-result worker idiom, not a
+// leak shape.
+func buffered(results chan int) {
+	go func() {
+		results <- compute()
+	}()
+}
+
+// Negative (near miss): a multi-way select can be woken by either
+// channel; only the single bare receive is pinned.
+func selective(done, kick chan struct{}) {
+	go func() {
+		select {
+		case <-done:
+		case <-kick:
+		}
+	}()
+}

@@ -70,6 +70,6 @@ func coldAlloc(ids []int) map[int]bool {
 //
 //perf:hot
 func allowed(n int) map[int]int {
-	//lint:allow hotpath small bounded map built once per reconfigure
+	//lint:allow hotpath: small bounded map built once per reconfigure
 	return make(map[int]int, n)
 }

@@ -1,0 +1,69 @@
+// Package locks exercises the locksafe analyzer's copy and return-path
+// rules. It has no serve/dist path element, so the blocking rule is
+// off here (see the serve fixture package for it).
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue takes the mutex itself: the callee locks a copy.
+func byValue(mu sync.Mutex) { // want `sync.Mutex passed by value`
+	mu.Lock()
+	mu.Unlock()
+}
+
+// copyOut duplicates the mutex into a local.
+func copyOut(g *guarded) {
+	mu := g.mu // want `assignment copies a sync.Mutex`
+	mu.Lock()
+	mu.Unlock()
+}
+
+// leaky releases only on the fall-through path: the early return leaves
+// the lock held.
+func leaky(g *guarded) int {
+	g.mu.Lock() // want `g.mu.Lock\(\) is not released on every return path`
+	if g.n > 0 {
+		return g.n
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// Negative: a pointer parameter is the correct form.
+func byPointer(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// Negative: defer covers every return path at once.
+func deferred(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n > 0 {
+		return g.n
+	}
+	return 0
+}
+
+// Negative (near miss): both branches balance their own Unlock, so no
+// path leaks even without defer.
+func balanced(g *guarded, early bool) int {
+	g.mu.Lock()
+	if early {
+		g.mu.Unlock()
+		return 1
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// Negative: constructing a zero mutex is not copying one.
+func fresh() *guarded {
+	g := &guarded{mu: sync.Mutex{}}
+	return g
+}

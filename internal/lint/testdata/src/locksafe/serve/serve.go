@@ -1,0 +1,54 @@
+// Package serve exercises locksafe's blocking rule, which is active
+// because the import path contains a "serve" element.
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu sync.Mutex
+	n  int
+}
+
+// holdAcrossSend publishes while holding the lock: one slow reader
+// stalls every other caller of the registry.
+func holdAcrossSend(r *registry, out chan int) {
+	r.mu.Lock()
+	out <- r.n // want `r.mu is held across a blocking channel send`
+	r.mu.Unlock()
+}
+
+// holdAcrossSleep parks with the lock held.
+func holdAcrossSleep(r *registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `r.mu is held across a blocking call to time.Sleep`
+}
+
+// holdAcrossReceive blocks on a channel read under the lock.
+func holdAcrossReceive(r *registry, in chan int) {
+	r.mu.Lock()
+	r.n = <-in // want `r.mu is held across a blocking channel receive`
+	r.mu.Unlock()
+}
+
+// Negative: snapshot under the lock, release, then block.
+func releaseThenSend(r *registry, out chan int) {
+	r.mu.Lock()
+	n := r.n
+	r.mu.Unlock()
+	out <- n
+}
+
+// Negative (near miss): a select with a default clause never blocks,
+// so holding the lock across it is fine.
+func tryNotify(r *registry, out chan int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case out <- r.n:
+	default:
+	}
+}

@@ -101,7 +101,7 @@ func countOnly(m map[string]int) int {
 func suppressed(m map[string]int) []string {
 	var out []string
 	for k := range m {
-		//lint:allow maporder order is re-established by the caller's stable sort
+		//lint:allow maporder: order is re-established by the caller's stable sort
 		out = append(out, k)
 	}
 	return out

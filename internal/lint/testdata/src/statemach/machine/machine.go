@@ -1,0 +1,46 @@
+// Package machine declares an opted-in state machine for the statemach
+// fixture.
+package machine
+
+// Phase is a job's lifecycle state.
+//
+//lint:statemach transitions=Advance
+type Phase int
+
+const (
+	Idle Phase = iota
+	Running
+	Done
+	Failed
+)
+
+// Job carries durable state.
+type Job struct {
+	Phase Phase
+}
+
+// Advance is the sanctioned transition function: constant writes here
+// are allowed.
+func Advance(j *Job, p Phase) {
+	if p == Failed && j.Phase == Idle {
+		j.Phase = Idle // a validated rollback, sanctioned by the directive
+		return
+	}
+	j.Phase = p
+}
+
+// Reset flips durable state with a raw constant outside the sanctioned
+// function.
+func Reset(j *Job) {
+	j.Phase = Idle // want `raw machine.Phase write of Idle outside sanctioned transition function`
+}
+
+// Negative: a switch with a default clause need not enumerate.
+func Terminal(p Phase) bool {
+	switch p {
+	case Done, Failed:
+		return true
+	default:
+		return false
+	}
+}

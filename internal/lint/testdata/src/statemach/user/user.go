@@ -1,0 +1,47 @@
+// Package user dispatches on the machine package's state enum; the
+// exhaustiveness check needs the imported package's constant set.
+package user
+
+import "fix/machine"
+
+// Describe misses Failed and has no default: adding a state to the
+// enum must fail vet here.
+func Describe(p machine.Phase) string {
+	switch p { // want `switch over machine.Phase misses states Failed`
+	case machine.Idle:
+		return "idle"
+	case machine.Running:
+		return "running"
+	case machine.Done:
+		return "done"
+	}
+	return "?"
+}
+
+// Hijack writes a state constant from outside the machine package.
+func Hijack(j *machine.Job) {
+	j.Phase = machine.Done // want `raw machine.Phase write of Done outside sanctioned transition function`
+}
+
+// Negative: a default clause stands in for the unnamed states.
+func Busy(p machine.Phase) bool {
+	switch p {
+	case machine.Running:
+		return true
+	default:
+		return false
+	}
+}
+
+// Negative (near miss): copying an already-validated state variable is
+// not a raw transition.
+func Mirror(dst *machine.Job, src machine.Job) {
+	dst.Phase = src.Phase
+}
+
+// Negative: locals are scratch space, not durable state.
+func Scratch() machine.Phase {
+	p := machine.Idle
+	p = machine.Done
+	return p
+}

@@ -177,7 +177,7 @@ type SweepProgress struct {
 
 // NewSweepProgress starts a progress tracker; w may be nil.
 func NewSweepProgress(w io.Writer) *SweepProgress {
-	//lint:allow determinism progress display measures host wall-clock by design; it never feeds simulated quantities
+	//lint:allow determinism: progress display measures host wall-clock by design; it never feeds simulated quantities
 	return &SweepProgress{w: w, start: time.Now()}
 }
 
@@ -203,7 +203,7 @@ func (p *SweepProgress) CellDone() {
 	p.done++
 	if p.w != nil {
 		fmt.Fprintf(p.w, "\r%d/%d cells%s (%v)", p.done, p.total, p.resumedSuffix(),
-			//lint:allow determinism live progress line shows host elapsed time, not a simulated quantity
+			//lint:allow determinism: live progress line shows host elapsed time, not a simulated quantity
 			time.Since(p.start).Round(time.Millisecond))
 		p.dirty = true
 	}
@@ -232,7 +232,7 @@ func (p *SweepProgress) Break() {
 func (p *SweepProgress) Snapshot() (done, total int, elapsed time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	//lint:allow determinism Snapshot reports host elapsed time for progress display, not a simulated quantity
+	//lint:allow determinism: Snapshot reports host elapsed time for progress display, not a simulated quantity
 	return p.done, p.total, time.Since(p.start)
 }
 
@@ -241,6 +241,6 @@ func (p *SweepProgress) Summary() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return fmt.Sprintf("%d/%d cells%s in %v", p.done, p.total, p.resumedSuffix(),
-		//lint:allow determinism sweep summary reports host elapsed time, not a simulated quantity
+		//lint:allow determinism: sweep summary reports host elapsed time, not a simulated quantity
 		time.Since(p.start).Round(time.Millisecond))
 }

@@ -287,12 +287,12 @@ func (s *Server) admitted(h func(w http.ResponseWriter, r *http.Request) error) 
 			return
 		}
 		defer release()
-		//lint:allow determinism request latency is host wall-clock by definition; it never feeds a simulated quantity
+		//lint:allow determinism: request latency is host wall-clock by definition; it never feeds a simulated quantity
 		start := time.Now()
 		s.reqs.Begin()
 		ok := false
 		defer func() {
-			//lint:allow determinism request latency is host wall-clock by definition; it never feeds a simulated quantity
+			//lint:allow determinism: request latency is host wall-clock by definition; it never feeds a simulated quantity
 			s.reqs.End(time.Since(start), ok)
 		}()
 		stop, err := s.adm.Start(r.Context())

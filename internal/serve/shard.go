@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sentinel/internal/dist"
@@ -51,6 +52,15 @@ type shardLease struct {
 	// cleanup waits on it so the journal directory is never yanked from
 	// under a running sweep.
 	done chan struct{}
+	// reclaimed flips once the registry has dropped the lease. The
+	// journal directory is removed when BOTH the sweep has stopped and
+	// the lease is reclaimed — by whichever side finishes second (each
+	// sets its own flag, then checks the other's). Neither side parks a
+	// goroutine waiting for the other, so a wedged sweep cannot strand
+	// a cleanup goroutine, and an unreclaimed lease keeps its journal
+	// salvageable.
+	reclaimed  atomic.Bool
+	removeOnce sync.Once
 
 	mu       sync.Mutex
 	state    string // dist.ShardRunning / ShardCompleted / ShardFailed
@@ -70,6 +80,26 @@ func (l *shardLease) setState(state, errMsg string) {
 	}
 	l.state = state
 	l.errMsg = errMsg
+}
+
+// maybeRemoveDir reclaims the lease's journal directory once the sweep
+// has stopped AND the registry has dropped the lease. Both the sweep
+// goroutine (after close(done)) and the registry (after setting
+// reclaimed) call it; the flag-then-check ordering on each side
+// guarantees the second finisher observes both conditions, and the
+// Once keeps the removal single-shot when the race is tied.
+func (l *shardLease) maybeRemoveDir() {
+	if !l.reclaimed.Load() {
+		return
+	}
+	select {
+	case <-l.done:
+		l.removeOnce.Do(func() {
+			os.RemoveAll(l.dir) //nolint:errcheck // best-effort temp cleanup
+		})
+	default:
+		// Sweep still running; it removes the dir when it stops.
+	}
 }
 
 // status snapshots the lease for a ShardStatus response.
@@ -103,7 +133,10 @@ func newShardRegistry(maxShards int, defTTL time.Duration, stats *metrics.DistSt
 var errShardsSaturated = errors.New("all shard slots leased")
 
 // grant registers a new lease if a slot is free and returns its id.
-func (r *shardRegistry) grant(l *shardLease) (string, error) {
+// The TTL timer is armed here, before the lease becomes findable: a
+// status poll racing the grant must never observe a nil timer through
+// renew. onExpire receives the lease id when the TTL lapses.
+func (r *shardRegistry) grant(l *shardLease, onExpire func(id string)) (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	running := 0
@@ -118,6 +151,7 @@ func (r *shardRegistry) grant(l *shardLease) (string, error) {
 	}
 	r.nextID++
 	l.id = fmt.Sprintf("lease-%d", r.nextID)
+	l.timer = time.AfterFunc(l.ttl, func() { onExpire(l.id) })
 	r.leases[l.id] = l
 	r.stats.LeaseGranted(l.tenant)
 	return l.id, nil
@@ -151,10 +185,8 @@ func (r *shardRegistry) expire(id string) {
 	}
 	l.setState(dist.ShardFailed, "lease expired on worker")
 	l.cancel()
-	go func() {
-		<-l.done
-		os.RemoveAll(l.dir) //nolint:errcheck // best-effort temp cleanup
-	}()
+	l.reclaimed.Store(true)
+	l.maybeRemoveDir()
 }
 
 // release hands a lease back deliberately (DELETE): same reclamation as
@@ -173,10 +205,8 @@ func (r *shardRegistry) release(id string) (*shardLease, bool) {
 	r.stats.LeaseDone(l.tenant)
 	l.setState(dist.ShardFailed, "lease released")
 	l.cancel()
-	go func() {
-		<-l.done
-		os.RemoveAll(l.dir) //nolint:errcheck // best-effort temp cleanup
-	}()
+	l.reclaimed.Store(true)
+	l.maybeRemoveDir()
 	return l, true
 }
 
@@ -318,7 +348,7 @@ func (s *Server) handleShardStart(w http.ResponseWriter, r *http.Request) {
 		done: make(chan struct{}), state: dist.ShardRunning,
 		replayed: replayed, journal: journal,
 	}
-	id, err := s.shards.grant(l)
+	id, err := s.shards.grant(l, s.shards.expire)
 	if err != nil {
 		cancel()
 		journal.Close()
@@ -329,7 +359,6 @@ func (s *Server) handleShardStart(w http.ResponseWriter, r *http.Request) {
 			"%v; retry after %v", err, s.cfg.RetryAfter)
 		return
 	}
-	l.timer = time.AfterFunc(ttl, func() { s.shards.expire(id) })
 
 	o := experiment.Options{
 		Steps: req.Steps, Quick: req.Quick, Workers: s.cfg.Workers,
@@ -337,7 +366,12 @@ func (s *Server) handleShardStart(w http.ResponseWriter, r *http.Request) {
 		Shard: experiment.ShardPlan{Count: req.Shards, Index: req.Shard},
 	}
 	go func() {
-		defer close(l.done)
+		defer func() {
+			close(l.done)
+			// If the lease was reclaimed while the sweep ran, the dir
+			// is ours to remove; otherwise expire/release removes it.
+			l.maybeRemoveDir()
+		}()
 		var runErr error
 		for _, exp := range req.Exps {
 			if _, err := experiment.Run(exp, o); err != nil {

@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"sentinel/internal/dist"
 	"sentinel/internal/experiment"
+	"sentinel/internal/metrics"
 )
 
 // shardServer builds a server tuned for shard tests: quick sweeps, a
@@ -64,6 +66,93 @@ func waitShard(t *testing.T, h http.Handler, lease string) (final dist.ShardStat
 }
 
 const fig7Shard0 = `{"exps":["fig7"],"shard":0,"shards":2,"quick":true,"steps":2}`
+
+// testLease builds a minimal running lease over a real temp directory,
+// for registry-level tests. The returned lease has no sweep goroutine;
+// tests drive the done channel by hand.
+func testLease(t *testing.T, dir string) *shardLease {
+	t.Helper()
+	return &shardLease{
+		tenant: "t", dir: dir, ttl: time.Minute,
+		cancel: func() {}, done: make(chan struct{}),
+		state: dist.ShardRunning,
+	}
+}
+
+// TestGrantArmsTimerBeforePublish pins the locksafe/race fix: the TTL
+// timer is created inside grant, before the lease is findable, so a
+// status poll racing the grant can never hit a nil timer in renew.
+func TestGrantArmsTimerBeforePublish(t *testing.T) {
+	r := newShardRegistry(2, time.Minute, &metrics.DistStats{})
+	l := testLease(t, t.TempDir())
+	id, err := r.grant(l, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.timer == nil {
+		t.Fatal("grant returned with a nil TTL timer; a racing renew would panic")
+	}
+	got, ok := r.get(id)
+	if !ok || got != l {
+		t.Fatalf("lease %q not findable after grant", id)
+	}
+	l.renew() // must not panic
+	if _, ok := r.release(id); !ok {
+		t.Fatalf("release(%q) failed", id)
+	}
+}
+
+// TestLeaseDirReclaimedWithoutWaiter pins the goroleak fix: no
+// goroutine parks on the lease's done channel. The journal directory
+// is removed by whichever side finishes second — and never while the
+// other side still needs it.
+func TestLeaseDirReclaimedWithoutWaiter(t *testing.T) {
+	t.Run("release before sweep ends", func(t *testing.T) {
+		r := newShardRegistry(2, time.Minute, &metrics.DistStats{})
+		dir := t.TempDir()
+		l := testLease(t, dir)
+		id, err := r.grant(l, func(string) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := r.release(id); !ok {
+			t.Fatal("release failed")
+		}
+		// Sweep still running: the directory must survive so the sweep
+		// can keep journaling until it observes cancellation.
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("dir reclaimed while the sweep still runs: %v", err)
+		}
+		// Sweep ends: it performs the removal itself.
+		close(l.done)
+		l.maybeRemoveDir()
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Fatalf("dir not reclaimed after sweep ended: %v", err)
+		}
+	})
+
+	t.Run("sweep ends before expiry", func(t *testing.T) {
+		r := newShardRegistry(2, time.Minute, &metrics.DistStats{})
+		dir := t.TempDir()
+		l := testLease(t, dir)
+		l.journal = &experiment.Journal{}
+		id, err := r.grant(l, func(string) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		close(l.done)
+		l.maybeRemoveDir()
+		// Lease not reclaimed yet: the journal must stay salvageable
+		// for status polls.
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("dir reclaimed before the lease was released: %v", err)
+		}
+		r.expire(id)
+		if _, err := os.Stat(dir); !os.IsNotExist(err) {
+			t.Fatalf("dir not reclaimed after expiry: %v", err)
+		}
+	})
+}
 
 func TestShardLifecycle(t *testing.T) {
 	s, h := shardServer(t, time.Minute)
